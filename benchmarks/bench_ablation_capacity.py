@@ -1,0 +1,52 @@
+"""Ablation A3: node capacity sensitivity.
+
+Beyond the paper: leaf capacity trades early-stop granularity against
+traversal cost.  Small leaves give tight MBRs (early stops fire at small
+ranges, good compaction) but deep trees; big leaves batch distance work
+efficiently in NumPy but group coarsely.  The R-tree literature's 50-100
+recommendation (paper Section V-B) sits in the middle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csj import csj
+from repro.core.results import CountingSink
+from repro.index.bulk import bulk_load
+from repro.io.writer import width_for
+
+EPS = 0.1
+CAPACITIES = [8, 16, 32, 64, 128]
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_ablation_capacity_join(benchmark, run_once, mg_points, capacity):
+    tree = bulk_load(mg_points, max_entries=capacity)
+    sink = CountingSink(id_width=width_for(len(mg_points)))
+    result = run_once(csj, tree, EPS, 10, sink=sink)
+    benchmark.extra_info.update(
+        capacity=capacity,
+        output_bytes=result.output_bytes,
+        early_stops=result.stats.early_stops,
+        nodes_visited=result.stats.nodes_visited,
+    )
+
+
+def test_ablation_capacity_shape(benchmark, run_once, mg_points):
+    """Lossless at every capacity; smaller leaves never produce *larger*
+    N-CSJ output (tighter nodes can only group more)."""
+    width = width_for(len(mg_points))
+
+    def sweep():
+        out = {}
+        for capacity in (8, 64):
+            tree = bulk_load(mg_points, max_entries=capacity)
+            out[capacity] = csj(
+                tree, EPS, g=0, sink=CountingSink(id_width=width)
+            ).output_bytes
+        return out
+
+    by_capacity = run_once(sweep)
+    assert by_capacity[8] <= by_capacity[64] * 1.05
+    benchmark.extra_info.update(series=by_capacity)

@@ -1,0 +1,103 @@
+"""Ablation A4: intrinsic dimensionality versus the output explosion.
+
+The paper's Conclusion proposes analysing the methods "as a function of
+the intrinsic ('fractal') dimensionality of the input data set".  This
+bench does that analysis: for datasets of equal size but different
+correlation dimension D2 (a 1-D line, the Sierpinski triangle with
+D2 = log3/log2 ~ 1.585, and the uniform square with D2 = 2), it measures
+
+* the estimated D2 (``repro.stats.fractal``),
+* the SSJ output at a fixed range (theory: ~ n^2 * eps^D2 — lower D2
+  means *more* pairs at small eps, i.e. earlier explosion), and
+* the CSJ(10) compaction ratio.
+
+Shape assertion: the pair count at fixed eps decreases as D2 increases,
+exactly the paper's intuition that locally dense (low-dimensional) data
+explodes first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.csj import csj
+from repro.core.results import CountingSink
+from repro.datasets import sierpinski_triangle, uniform_points
+from repro.experiments.runner import scaled
+from repro.index.bulk import bulk_load
+from repro.io.writer import width_for
+from repro.stats.fractal import correlation_dimension
+
+N = scaled(6_000)
+EPS = 2.0**-6
+
+
+def _line(n: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return np.stack([rng.random(n), np.zeros(n)], axis=1)
+
+
+DATASETS = {
+    "line-d1": _line,
+    "sierpinski-d1.58": lambda n: sierpinski_triangle(n, seed=0),
+    "uniform-d2": lambda n: uniform_points(n, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_ablation_fractal_dimension_estimate(benchmark, run_once, name):
+    points = DATASETS[name](N)
+    estimate = run_once(
+        correlation_dimension, points, 2.0**-8, 2.0**-4, 6
+    )
+    benchmark.extra_info.update(dataset=name, d2=estimate.dimension)
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_ablation_fractal_join(benchmark, run_once, name):
+    points = DATASETS[name](N)
+    tree = bulk_load(points, max_entries=64)
+    sink = CountingSink(id_width=width_for(N))
+    result = run_once(csj, tree, EPS, 10, sink=sink)
+    benchmark.extra_info.update(
+        dataset=name,
+        output_bytes=result.output_bytes,
+        implied_pairs=None,
+        early_stops=result.stats.early_stops,
+    )
+
+
+def test_ablation_fractal_shape(benchmark, run_once):
+    """Lower intrinsic dimension -> more pairs at a fixed small range ->
+    stronger compaction payoff."""
+    from repro.core.bruteforce import count_links
+
+    def sweep():
+        out = {}
+        for name, generator in DATASETS.items():
+            points = generator(N)
+            d2 = correlation_dimension(points, 2.0**-8, 2.0**-4, 6).dimension
+            pairs = count_links(points, EPS)
+            tree = bulk_load(points, max_entries=64)
+            width = width_for(N)
+            csj_bytes = csj(
+                tree, EPS, g=10, sink=CountingSink(id_width=width)
+            ).output_bytes
+            ssj_bytes = pairs * 2 * (width + 1)
+            out[name] = (d2, pairs, ssj_bytes, csj_bytes)
+        return out
+
+    out = run_once(sweep)
+    d2s = [v[0] for v in out.values()]
+    pairs = [v[1] for v in out.values()]
+    # Dimensions are ordered line < sierpinski < uniform ...
+    assert d2s[0] < d2s[1] < d2s[2]
+    # ... and the pair count at fixed eps is anti-ordered.
+    assert pairs[0] > pairs[1] > pairs[2]
+    # Compaction is strongest where the explosion is worst.
+    ratios = [v[2] / max(v[3], 1) for v in out.values()]
+    assert ratios[0] > ratios[2]
+    benchmark.extra_info.update(
+        results={k: {"d2": v[0], "pairs": v[1]} for k, v in out.items()}
+    )

@@ -1,0 +1,71 @@
+"""Experiment 4: different underlying tree structures.
+
+The paper implemented the algorithms over R*-trees, R-trees and Metric
+trees and found "no significant difference in any of the performance
+measures".  Benchmarks run CSJ(10) and N-CSJ over all three indexes on
+the same MG-County-like data, and the shape test asserts that all
+indexes imply the identical link set and comparable output sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csj import csj
+from repro.core.results import CollectSink, CountingSink
+from repro.index.bulk import bulk_load
+from repro.index.mtree import MTree
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+from repro.io.writer import width_for
+
+EPS = 0.05
+INDEXES = ["rstar", "rtree", "mtree"]
+
+
+def _build(name, points):
+    if name == "mtree":
+        return MTree(points, max_entries=64)
+    cls = RStarTree if name == "rstar" else RTree
+    return bulk_load(points, tree_class=cls, max_entries=64)
+
+
+@pytest.mark.parametrize("index", INDEXES)
+def test_exp4_build(benchmark, run_once, mg_points, index):
+    tree = run_once(_build, index, mg_points)
+    tree.validate()
+    benchmark.extra_info.update(index=index, nodes=tree.node_count())
+
+
+@pytest.mark.parametrize("index", INDEXES)
+@pytest.mark.parametrize("g", [0, 10], ids=["ncsj", "csj10"])
+def test_exp4_join(benchmark, run_once, mg_points, index, g):
+    tree = _build(index, mg_points)
+    sink = CountingSink(id_width=width_for(len(mg_points)))
+    result = run_once(csj, tree, EPS, g, sink=sink)
+    benchmark.extra_info.update(
+        index=index, g=g, output_bytes=result.output_bytes,
+        distance_computations=result.stats.distance_computations,
+    )
+
+
+def test_exp4_shape_all_indexes_agree(benchmark, run_once, mg_points):
+    """Same implied link set from every index, and output sizes within a
+    small factor of each other (the paper found no significant
+    difference; ball bounds are looser than rectangles, so we allow 2x)."""
+
+    def sweep():
+        out = {}
+        for index in INDEXES:
+            tree = _build(index, mg_points)
+            sink = CollectSink(id_width=width_for(len(mg_points)))
+            result = csj(tree, EPS, g=10, sink=sink)
+            out[index] = (result.expanded_links(), result.output_bytes)
+        return out
+
+    out = run_once(sweep)
+    links = [v[0] for v in out.values()]
+    assert all(l == links[0] for l in links[1:])
+    sizes = [v[1] for v in out.values()]
+    assert max(sizes) <= min(sizes) * 2.0
+    benchmark.extra_info.update(sizes={k: v[1] for k, v in out.items()})

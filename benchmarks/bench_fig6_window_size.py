@@ -1,0 +1,51 @@
+"""Figure 6 / Experiment 1b: CSJ(g) versus the window size g.
+
+Paper shape: on MG County at a fixed range, output size drops ~20% from
+g=1 to g~10 and flattens afterwards, while runtime grows mildly with g —
+hence the recommended sweet spot g ~ 10.  Both halves are asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csj import csj
+from repro.core.results import CountingSink
+from repro.io.writer import width_for
+
+G_VALUES = [1, 2, 3, 4, 5, 10, 20, 50, 100]
+EPS = 0.1
+
+
+@pytest.mark.parametrize("g", G_VALUES)
+def test_fig6_csj_g(benchmark, run_once, mg_points, mg_tree, g):
+    sink = CountingSink(id_width=width_for(len(mg_points)))
+    result = run_once(csj, mg_tree, EPS, g, sink=sink)
+    benchmark.extra_info.update(
+        g=g,
+        output_bytes=result.output_bytes,
+        groups=result.stats.groups_emitted,
+        merge_attempts=result.stats.merge_attempts,
+        merge_successes=result.stats.merge_successes,
+    )
+
+
+def test_fig6_shape(benchmark, run_once, mg_points, mg_tree):
+    """Output shrinks with g and saturates: the g=10 output is within a
+    few percent of the g=100 output, and well below the g=1 output."""
+    width = width_for(len(mg_points))
+
+    def sweep():
+        return {
+            g: csj(mg_tree, EPS, g=g, sink=CountingSink(id_width=width)).output_bytes
+            for g in (1, 10, 100)
+        }
+
+    by_g = run_once(sweep)
+    assert by_g[10] <= by_g[1]
+    assert by_g[100] <= by_g[10]
+    # Diminishing returns: going 10 -> 100 buys far less than 1 -> 10.
+    gain_1_to_10 = by_g[1] - by_g[10]
+    gain_10_to_100 = by_g[10] - by_g[100]
+    assert gain_10_to_100 <= gain_1_to_10
+    benchmark.extra_info.update(series=by_g)

@@ -1,0 +1,96 @@
+"""Related-work comparison (paper Section II-C, quantified).
+
+The paper rejects "similarity join + clustering post-processing" as a
+substitute for the compact join.  These benches run the rejected pipeline
+— k-means, k-medoids, single-linkage and BIRCH over the join's ground
+truth — and measure what the paper predicts:
+
+* every clustering baseline either implies non-qualifying pairs
+  ("Cluster Shape" failure / Theorem 2) or drops qualifying links
+  (Theorem 1), while CSJ(10) does neither;
+* single-linkage post-processing consumes the exploded link list, i.e.
+  costs what the compact join avoids ("Runtime" failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.birch import BirchTree
+from repro.baselines.hierarchical import single_linkage_from_links
+from repro.baselines.kmeans import kmeans, kmedoids
+from repro.baselines.postprocess import cluster_violations, evaluate_postprocessing
+from repro.core.bruteforce import brute_force_links
+from repro.experiments.runner import scaled
+
+EPS = 0.03
+N = scaled(1_500)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(5)
+    centers = rng.random((8, 2))
+    points = np.clip(
+        centers[rng.integers(0, 8, N)] + rng.normal(scale=0.012, size=(N, 2)), 0, 1
+    )
+    return points, brute_force_links(points, EPS)
+
+
+def test_related_kmeans(benchmark, run_once, workload):
+    points, truth = workload
+    labels, _ = run_once(kmeans, points, 60, None, 50, 0)
+    violating, missing = cluster_violations(points, labels, EPS, truth)
+    benchmark.extra_info.update(violating=violating, missing=missing)
+    assert violating + missing > 0  # Section II-C "Cluster Shape"
+
+
+def test_related_kmedoids(benchmark, run_once, workload):
+    points, truth = workload
+    labels, _ = run_once(kmedoids, points, 40)
+    violating, missing = cluster_violations(points, labels, EPS, truth)
+    benchmark.extra_info.update(violating=violating, missing=missing)
+    assert violating + missing > 0
+
+
+def test_related_single_linkage(benchmark, run_once, workload):
+    points, truth = workload
+    labels = run_once(single_linkage_from_links, truth, len(points))
+    violating, missing = cluster_violations(points, labels, EPS, truth)
+    benchmark.extra_info.update(
+        violating=violating, missing=missing, links_consumed=len(truth)
+    )
+    # Connected components never cross a non-link... but chains exceed eps.
+    assert missing == 0
+    assert violating > 0
+
+
+def test_related_birch(benchmark, run_once, workload):
+    points, truth = workload
+
+    def fit():
+        return BirchTree(points.shape[1], threshold=EPS / 2).fit(points).labels()
+
+    labels = run_once(fit)
+    violating, missing = cluster_violations(points, labels, EPS, truth)
+    benchmark.extra_info.update(violating=violating, missing=missing)
+    assert violating + missing > 0
+
+
+def test_related_shape_summary(benchmark, run_once, workload):
+    """The full Section II-C table: only the compact join is exact."""
+    points, _ = workload
+    rows = run_once(evaluate_postprocessing, points, EPS)
+    by_method = {row["method"]: row for row in rows}
+    assert by_method["csj(10)"]["violating_pairs"] == 0
+    assert by_method["csj(10)"]["missing_links"] == 0
+    imperfect = [
+        m
+        for m in ("kmeans", "kmedoids", "single-linkage", "birch")
+        if by_method[m]["violating_pairs"] + by_method[m]["missing_links"] > 0
+    ]
+    assert len(imperfect) == 4
+    benchmark.extra_info.update(
+        table={row["method"]: dict(row) for row in rows}
+    )

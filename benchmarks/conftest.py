@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index).  Dataset sizes default to quick,
+laptop-friendly values; set ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=5``) to
+approach paper scale — the code paths are identical.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` because join runtimes
+here range from milliseconds to minutes; pytest-benchmark's automatic
+calibration would re-run the expensive ones dozens of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import lb_county, mg_county, pacific_nw, sierpinski_pyramid
+from repro.experiments.runner import scaled
+from repro.index.bulk import bulk_load
+
+
+def _cached(generator, n, seed=0):
+    return generator(n, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def mg_points():
+    return _cached(mg_county, scaled(2_700))
+
+
+@pytest.fixture(scope="session")
+def lb_points():
+    return _cached(lb_county, scaled(3_600))
+
+
+@pytest.fixture(scope="session")
+def sierpinski_points():
+    return _cached(sierpinski_pyramid, scaled(10_000))
+
+
+@pytest.fixture(scope="session")
+def pacific_points():
+    return _cached(pacific_nw, scaled(15_000))
+
+
+@pytest.fixture(scope="session")
+def mg_tree(mg_points):
+    return bulk_load(mg_points, max_entries=64)
+
+
+@pytest.fixture(scope="session")
+def lb_tree(lb_points):
+    return bulk_load(lb_points, max_entries=64)
+
+
+@pytest.fixture(scope="session")
+def sierpinski_tree(sierpinski_points):
+    return bulk_load(sierpinski_points, max_entries=64)
+
+
+@pytest.fixture(scope="session")
+def pacific_tree(pacific_points):
+    return bulk_load(pacific_points, max_entries=64)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

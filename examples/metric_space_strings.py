@@ -1,0 +1,94 @@
+"""Compact similarity joins in a general metric space (paper Section VII).
+
+"The algorithms are equally applicable to metric space, and the gains
+carry over" — this example demonstrates that claim on data with *no
+coordinates at all*: strings under Levenshtein edit distance.  A noisy
+product-name catalogue (think record de-duplication) contains clusters of
+near-duplicate entries; the similarity join "which names are within edit
+distance 2?" explodes inside each cluster, and the metric-space compact
+join reports each cluster as one ball-bounded group instead.
+
+Usage::
+
+    python examples/metric_space_strings.py
+"""
+
+import numpy as np
+
+from repro.core.metricspace import (
+    brute_force_object_links,
+    metric_similarity_join,
+)
+
+
+def levenshtein(a: str, b: str) -> float:
+    """Classic O(|a| |b|) edit distance."""
+    if len(a) < len(b):
+        a, b = b, a
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        cur = [i]
+        for j, cb in enumerate(b, 1):
+            cur.append(min(prev[j] + 1, cur[-1] + 1, prev[j - 1] + (ca != cb)))
+        prev = cur
+    return float(prev[-1])
+
+
+def make_catalogue(seed: int = 11) -> list[str]:
+    """Product names with clusters of typo'd near-duplicates."""
+    rng = np.random.default_rng(seed)
+    canonical = [
+        "espresso machine deluxe",
+        "mechanical keyboard",
+        "trail running shoes",
+        "noise cancelling headphones",
+        "stainless water bottle",
+        "ergonomic office chair",
+    ]
+    alphabet = "abcdefghijklmnopqrstuvwxyz "
+    names: list[str] = []
+    for name in canonical:
+        names.append(name)
+        for _ in range(20):  # twenty noisy variants each
+            chars = list(name)
+            for _ in range(int(rng.integers(1, 3))):
+                op = rng.integers(0, 3)
+                pos = int(rng.integers(0, len(chars)))
+                if op == 0:  # substitute
+                    chars[pos] = alphabet[int(rng.integers(0, len(alphabet)))]
+                elif op == 1 and len(chars) > 3:  # delete
+                    del chars[pos]
+                else:  # insert
+                    chars.insert(pos, alphabet[int(rng.integers(0, len(alphabet)))])
+            names.append("".join(chars))
+    # A few entries unrelated to everything.
+    names.extend(["xylophone", "quasar telescope mount"])
+    return names
+
+
+def main() -> None:
+    names = make_catalogue()
+    eps = 4.0  # within edit distance < 4 counts as "the same product"
+    print(f"catalogue: {len(names)} product names, edit-distance range {eps}")
+
+    result = metric_similarity_join(
+        names, eps, levenshtein, g=10, max_entries=8, name="levenshtein"
+    )
+    truth = brute_force_object_links(names, eps, levenshtein)
+
+    print(f"qualifying pairs (ground truth): {len(truth):,d}")
+    print(f"compact output: {result.stats.groups_emitted} groups + "
+          f"{result.stats.links_emitted} residual links = "
+          f"{result.output_bytes:,d} bytes "
+          f"(pair-per-line output would be {len(truth) * 8:,d} bytes)")
+    assert result.expanded_links() == truth
+    print("losslessness verified against the brute-force edit-distance join")
+
+    print("\nlargest duplicate groups:")
+    for ids in sorted(result.groups, key=len, reverse=True)[:3]:
+        sample = [names[i] for i in ids[:3]]
+        print(f"  {len(ids):3d} names, e.g. {sample}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Compact spatial join between two datasets (paper Section IV-D).
+
+A Geographical Information Systems scenario: join road-network points
+against facility locations ("which facilities are within eps of which
+road points?").  Both datasets are dense in the same urban regions, which
+is precisely when the paper predicts the dual-tree early stop pays off —
+the two indexes place small nodes in the same places.
+
+The example runs the standard and the compact spatial join, shows the
+output-size gap, and proves the group-pair output expands to the exact
+same cross-link set.
+
+Usage::
+
+    python examples/spatial_join_roads.py
+"""
+
+import numpy as np
+
+from repro import build_index, compact_spatial_join, spatial_join
+from repro.core.bruteforce import brute_force_cross_links
+from repro.datasets import pacific_nw
+
+
+def make_facilities(roads: np.ndarray, n: int = 4_000, seed: int = 9) -> np.ndarray:
+    """Facilities cluster where the roads are (shops follow traffic)."""
+    rng = np.random.default_rng(seed)
+    anchors = roads[rng.integers(0, len(roads), n)]
+    return np.clip(anchors + rng.normal(scale=0.004, size=(n, 2)), 0, 1)
+
+
+def main() -> None:
+    roads = pacific_nw(20_000, seed=2)
+    facilities = make_facilities(roads)
+    eps = 0.01
+    print(f"roads: {len(roads)} points, facilities: {len(facilities)}, "
+          f"query range {eps}")
+
+    tree_roads = build_index(roads)
+    tree_facilities = build_index(facilities)
+
+    standard = spatial_join(tree_roads, tree_facilities, eps)
+    compact = compact_spatial_join(tree_roads, tree_facilities, eps, g=10)
+
+    print(f"\nstandard spatial join: {standard.stats.links_emitted:,d} links, "
+          f"{standard.output_bytes:,d} bytes")
+    print(f"compact spatial join:  {compact.stats.groups_emitted:,d} group "
+          f"pairs + {compact.stats.links_emitted:,d} links, "
+          f"{compact.output_bytes:,d} bytes "
+          f"({compact.output_bytes / max(standard.output_bytes, 1):.1%} of standard)")
+
+    # Losslessness: both outputs imply the exact same cross pairs.
+    truth = brute_force_cross_links(roads, facilities, eps)
+    assert standard.expanded_cross_links() == truth
+    assert compact.expanded_cross_links() == truth
+    print(f"\nboth outputs expand to the same {len(truth):,d} cross links "
+          "(verified against brute force)")
+
+    # A taste of downstream use: facilities reachable from one road point.
+    probe = 0
+    near = sorted(j for i, j in truth if i == probe)
+    print(f"facilities within {eps} of road point {probe}: {near[:10]}"
+          + (" ..." if len(near) > 10 else ""))
+
+
+if __name__ == "__main__":
+    main()

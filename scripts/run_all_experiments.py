@@ -1,0 +1,60 @@
+"""Run every paper experiment and save the tables to results/.
+
+This is the script behind EXPERIMENTS.md: it executes the drivers in
+repro.experiments at the configured scale and writes one plain-text table
+per artifact.
+
+Usage::
+
+    python scripts/run_all_experiments.py [results_dir]
+
+Scale with REPRO_SCALE (default 1.0 — minutes on a laptop).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import ExperimentConfig, ablations, exp4, fig5, fig6, fig7, fig8
+from repro.experiments.tables import format_rows, format_table
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    os.makedirs(out_dir, exist_ok=True)
+    config = ExperimentConfig(iterations=1)
+
+    jobs = [
+        ("fig5_mg_county", lambda: fig5.run_dataset("mg_county", config=config)),
+        ("fig5_lb_county", lambda: fig5.run_dataset("lb_county", config=config)),
+        ("fig5_sierpinski3d", lambda: fig5.run_dataset("sierpinski3d", config=config)),
+        ("fig5_pacific_nw", lambda: fig5.run_dataset("pacific_nw", config=config)),
+        ("fig6_window_size", lambda: fig6.run(config=config)),
+        ("fig7_scalability", lambda: fig7.run(config=config)),
+        ("fig8_time_division", lambda: fig8.run(config=config)),
+        ("exp4_tree_structures", lambda: exp4.run(config=config)),
+        ("ablation_bulk", lambda: ablations.run_bulk(config=config)),
+        ("ablation_capacity", lambda: ablations.run_capacity(config=config)),
+        ("ablation_egrid", lambda: ablations.run_egrid(config=config)),
+        ("ablation_fractal", lambda: ablations.run_fractal(config=config)),
+        ("ablation_postprocess", lambda: ablations.run_postprocess(config=config)),
+    ]
+    for name, job in jobs:
+        start = time.perf_counter()
+        print(f"[{name}] running ...", flush=True)
+        rows = job()
+        elapsed = time.perf_counter() - start
+        if name.startswith("fig8") or name.startswith("exp4") or name.startswith("ablation"):
+            table = format_table(rows, title=name)
+        else:
+            table = format_rows(rows, title=name)
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(table + "\n")
+        print(f"[{name}] done in {elapsed:.1f}s -> {path}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

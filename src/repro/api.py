@@ -1,0 +1,130 @@
+"""High-level convenience API.
+
+One call builds the index and runs the chosen join:
+
+>>> import numpy as np
+>>> from repro import similarity_join
+>>> pts = np.random.default_rng(0).random((500, 2))
+>>> result = similarity_join(pts, eps=0.05, algorithm="csj", g=10)
+>>> result.stats.groups_emitted + result.stats.links_emitted > 0
+True
+
+For repeated joins over the same data build the index once with
+:func:`build_index` and call :func:`repro.core.ssj.ssj` /
+:func:`repro.core.csj.csj` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.csj import csj as _csj
+from repro.core.csj import ncsj as _ncsj
+from repro.core.dual import compact_spatial_join, spatial_join
+from repro.core.egrid import egrid_join
+from repro.core.partitioned import pbsm_join
+from repro.core.results import JoinResult, JoinSink
+from repro.core.ssj import ssj as _ssj
+from repro.index import SpatialIndex, bulk_load, get_index_class
+
+__all__ = ["build_index", "similarity_join", "spatial_join_datasets"]
+
+ALGORITHMS = ("ssj", "ncsj", "csj", "egrid", "egrid-csj", "pbsm", "pbsm-csj")
+
+
+def build_index(
+    points: np.ndarray,
+    index: Union[str, SpatialIndex] = "rstar",
+    metric: object = None,
+    max_entries: int = 64,
+    bulk: Optional[str] = None,
+) -> SpatialIndex:
+    """Build (or pass through) a spatial index over ``points``.
+
+    ``index`` may be an index name (``"rtree"``, ``"rstar"``, ``"mtree"``)
+    or an already-built :class:`~repro.index.base.SpatialIndex`.  ``bulk``
+    selects a bulk-loading method (``"str"``, ``"hilbert"``, ``"omt"``) for
+    the R-tree family instead of one-by-one insertion.
+    """
+    if isinstance(index, SpatialIndex):
+        return index
+    cls = get_index_class(index)
+    from repro.index.rtree import RTree
+
+    if bulk is not None and issubclass(cls, RTree):
+        return bulk_load(
+            points, method=bulk, tree_class=cls, metric=metric, max_entries=max_entries
+        )
+    # The M-tree (and any non-rectangle index) is built by insertion.
+    return cls(points, metric=metric, max_entries=max_entries)
+
+
+def similarity_join(
+    points: np.ndarray,
+    eps: float,
+    algorithm: str = "csj",
+    g: int = 10,
+    index: Union[str, SpatialIndex] = "rstar",
+    metric: object = None,
+    sink: Optional[JoinSink] = None,
+    max_entries: int = 64,
+    bulk: Optional[str] = "str",
+) -> JoinResult:
+    """Similarity self-join of ``points`` with query range ``eps``.
+
+    ``algorithm`` is one of
+
+    * ``"ssj"`` — standard join, every qualifying pair individually;
+    * ``"ncsj"`` — naive compact join (tree-node early stopping);
+    * ``"csj"`` — compact join with a ``g``-recent-group merge window;
+    * ``"egrid"`` / ``"egrid-csj"`` — the index-free epsilon-grid-order
+      join, plain or with the compact extension;
+    * ``"pbsm"`` / ``"pbsm-csj"`` — the partition-based spatial-merge
+      join, plain or compact.
+
+    Tree algorithms build the index named by ``index`` (bulk-loaded with
+    ``bulk`` by default); pass a prebuilt index to amortise that cost.
+    """
+    algorithm = algorithm.lower()
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+    if algorithm == "egrid":
+        return egrid_join(points, eps, compact=False, sink=sink, metric=metric)
+    if algorithm == "egrid-csj":
+        return egrid_join(points, eps, compact=True, g=g, sink=sink, metric=metric)
+    if algorithm == "pbsm":
+        return pbsm_join(points, eps, compact=False, sink=sink, metric=metric)
+    if algorithm == "pbsm-csj":
+        return pbsm_join(points, eps, compact=True, g=g, sink=sink, metric=metric)
+    tree = build_index(points, index, metric=metric, max_entries=max_entries, bulk=bulk)
+    if algorithm == "ssj":
+        return _ssj(tree, eps, sink=sink)
+    if algorithm == "ncsj":
+        return _ncsj(tree, eps, sink=sink)
+    return _csj(tree, eps, g=g, sink=sink)
+
+
+def spatial_join_datasets(
+    points_a: np.ndarray,
+    points_b: np.ndarray,
+    eps: float,
+    compact: bool = True,
+    g: int = 10,
+    index: str = "rstar",
+    metric: object = None,
+    sink: Optional[JoinSink] = None,
+    max_entries: int = 64,
+    bulk: Optional[str] = "str",
+) -> JoinResult:
+    """Spatial join between two datasets (Section IV-D).
+
+    Builds one index per dataset and runs the dual-tree join; with
+    ``compact`` the output uses group pairs, otherwise individual links.
+    """
+    tree_a = build_index(points_a, index, metric=metric, max_entries=max_entries, bulk=bulk)
+    tree_b = build_index(points_b, index, metric=metric, max_entries=max_entries, bulk=bulk)
+    if compact:
+        return compact_spatial_join(tree_a, tree_b, eps, g=g, sink=sink)
+    return spatial_join(tree_a, tree_b, eps, sink=sink)

@@ -1,0 +1,36 @@
+"""Clustering baselines from the paper's Related Work (Section II-B).
+
+The paper argues (Section II-C) that post-processing a similarity join
+with a clustering algorithm cannot replace the compact join, for three
+reasons — cluster shape, runtime, and RAM limits.  These are claims about
+*other* systems, so those systems are built here and the claims measured:
+
+* :mod:`repro.baselines.kmeans` — k-means and k-medoids (CLARANS-style
+  sampling), the "cluster shape" failure: arbitrary-shape clusters do not
+  guarantee that members mutually satisfy the query range;
+* :mod:`repro.baselines.hierarchical` — single-linkage agglomerative
+  clustering with a distance cut-off, the "runtime" failure: it needs the
+  pairwise distances that exploded in the first place;
+* :mod:`repro.baselines.birch` — the BIRCH CF-tree, the footnote's
+  failure: the tree is built for one granularity and must be rebuilt per
+  query range;
+* :mod:`repro.baselines.postprocess` — runs each baseline as a join
+  post-processor and measures exactly how it violates the compact-join
+  requirements (missing links, spurious implied links, runtime).
+"""
+
+from repro.baselines.birch import BirchTree, CFNode, ClusteringFeature
+from repro.baselines.hierarchical import single_linkage_components
+from repro.baselines.kmeans import kmeans, kmedoids
+from repro.baselines.postprocess import PostProcessReport, evaluate_postprocessing
+
+__all__ = [
+    "kmeans",
+    "kmedoids",
+    "single_linkage_components",
+    "BirchTree",
+    "CFNode",
+    "ClusteringFeature",
+    "evaluate_postprocessing",
+    "PostProcessReport",
+]

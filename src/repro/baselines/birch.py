@@ -1,0 +1,232 @@
+"""BIRCH clustering-feature tree (paper Section II-B, ref [19]).
+
+BIRCH summarises data in one pass with a **CF-tree**: every node entry is
+a clustering feature ``(N, LS, SS)`` — count, linear sum and sum of
+squares — supporting constant-time centroid, radius and merge
+computations.  A new point descends to the closest leaf entry and is
+absorbed if the entry's radius stays below the *threshold* T; otherwise a
+new entry (and possibly node splits) are created.
+
+The paper's objection (Section II-C footnote): "The CF-tree would have to
+be reconstructed each time to be optimal for each new query range" —
+T is baked into the structure, unlike the compact join, whose index is
+range-independent.  :mod:`repro.baselines.postprocess` also measures the
+"cluster shape" failure: CF-entry members are radius-bounded around the
+*centroid*, which does not guarantee pairwise distances below ε.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.metrics import Euclidean
+
+__all__ = ["ClusteringFeature", "CFNode", "BirchTree"]
+
+
+class ClusteringFeature:
+    """The (N, LS, SS) summary of a point set."""
+
+    __slots__ = ("n", "linear_sum", "square_sum")
+
+    def __init__(self, n: int = 0, linear_sum=None, square_sum: float = 0.0):
+        self.n = int(n)
+        self.linear_sum = (
+            None if linear_sum is None else np.asarray(linear_sum, dtype=float).copy()
+        )
+        self.square_sum = float(square_sum)
+
+    @classmethod
+    def of_point(cls, point: np.ndarray) -> "ClusteringFeature":
+        """CF of a single point."""
+        p = np.asarray(point, dtype=float)
+        return cls(1, p, float(np.dot(p, p)))
+
+    def merged(self, other: "ClusteringFeature") -> "ClusteringFeature":
+        """New CF summarising both operands (operands untouched)."""
+        if self.n == 0:
+            return ClusteringFeature(other.n, other.linear_sum, other.square_sum)
+        return ClusteringFeature(
+            self.n + other.n,
+            self.linear_sum + other.linear_sum,
+            self.square_sum + other.square_sum,
+        )
+
+    def absorb(self, other: "ClusteringFeature") -> None:
+        """Merge ``other`` into this CF in place."""
+        if self.n == 0:
+            self.linear_sum = other.linear_sum.copy()
+            self.n = other.n
+            self.square_sum = other.square_sum
+            return
+        self.n += other.n
+        self.linear_sum += other.linear_sum
+        self.square_sum += other.square_sum
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Mean of the summarised points."""
+        return self.linear_sum / self.n
+
+    def radius(self) -> float:
+        """RMS distance of members to the centroid (BIRCH's radius R)."""
+        if self.n == 0:
+            return 0.0
+        mean_sq = self.square_sum / self.n
+        centroid = self.centroid
+        value = mean_sq - float(np.dot(centroid, centroid))
+        return float(np.sqrt(max(0.0, value)))
+
+    def __repr__(self) -> str:
+        return f"CF(n={self.n}, centroid={None if self.n == 0 else self.centroid})"
+
+
+class CFNode:
+    """A CF-tree node: parallel lists of entries and children/members."""
+
+    __slots__ = ("is_leaf", "entries", "children", "members")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: list[ClusteringFeature] = []
+        #: For internal nodes: one child per entry.
+        self.children: list["CFNode"] = []
+        #: For leaves: the point ids summarised by each entry.
+        self.members: list[list[int]] = []
+
+
+class BirchTree:
+    """A single-pass CF-tree (phase 1 of BIRCH).
+
+    Parameters
+    ----------
+    threshold:
+        The radius threshold T: a leaf entry absorbs a point only while
+        its CF radius stays below T.
+    branching:
+        Maximum entries per node.
+    """
+
+    def __init__(self, dim: int, threshold: float, branching: int = 8):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        self.dim = int(dim)
+        self.threshold = float(threshold)
+        self.branching = int(branching)
+        self.root = CFNode(is_leaf=True)
+        self._metric = Euclidean()
+        self.n_points = 0
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray, pid: int) -> None:
+        """Insert one point, splitting and growing the root as needed."""
+        cf = ClusteringFeature.of_point(point)
+        split = self._insert_into(self.root, cf, pid)
+        if split is not None:
+            old_root = self.root
+            new_root = CFNode(is_leaf=False)
+            for part in (old_root, split):
+                new_root.children.append(part)
+                new_root.entries.append(self._node_cf(part))
+            self.root = new_root
+        self.n_points += 1
+
+    def fit(self, points: np.ndarray) -> "BirchTree":
+        """Single-pass build over ``points`` (ids are row numbers)."""
+        for pid, point in enumerate(np.atleast_2d(np.asarray(points, dtype=float))):
+            self.insert(point, pid)
+        return self
+
+    def _node_cf(self, node: CFNode) -> ClusteringFeature:
+        total = ClusteringFeature()
+        for entry in node.entries:
+            total.absorb(entry)
+        return total
+
+    def _closest_entry(self, node: CFNode, cf: ClusteringFeature) -> int:
+        centroids = np.array([entry.centroid for entry in node.entries])
+        dists = self._metric.point_to_points(cf.centroid, centroids)
+        return int(np.argmin(dists))
+
+    def _insert_into(
+        self, node: CFNode, cf: ClusteringFeature, pid: int
+    ) -> Optional[CFNode]:
+        """Recursive insert; returns a new sibling if ``node`` split."""
+        if node.is_leaf:
+            if node.entries:
+                idx = self._closest_entry(node, cf)
+                trial = node.entries[idx].merged(cf)
+                if trial.radius() < self.threshold:
+                    node.entries[idx] = trial
+                    node.members[idx].append(pid)
+                    return None
+            node.entries.append(cf)
+            node.members.append([pid])
+            if len(node.entries) > self.branching:
+                return self._split(node)
+            return None
+        idx = self._closest_entry(node, cf)
+        split = self._insert_into(node.children[idx], cf, pid)
+        node.entries[idx] = self._node_cf(node.children[idx])
+        if split is not None:
+            node.children.append(split)
+            node.entries.append(self._node_cf(split))
+            if len(node.children) > self.branching:
+                return self._split(node)
+        return None
+
+    def _split(self, node: CFNode) -> CFNode:
+        """Split by the farthest-centroid pair (the BIRCH heuristic)."""
+        centroids = np.array([entry.centroid for entry in node.entries])
+        dists = self._metric.self_pairwise(centroids)
+        seed_a, seed_b = np.unravel_index(int(np.argmax(dists)), dists.shape)
+        assign_a = dists[seed_a] <= dists[seed_b]
+        assign_a[seed_a], assign_a[seed_b] = True, False
+        sibling = CFNode(is_leaf=node.is_leaf)
+        keep_entries, keep_children, keep_members = [], [], []
+        for i, entry in enumerate(node.entries):
+            target_entries = keep_entries if assign_a[i] else sibling.entries
+            target_entries.append(entry)
+            if node.is_leaf:
+                (keep_members if assign_a[i] else sibling.members).append(
+                    node.members[i]
+                )
+            else:
+                (keep_children if assign_a[i] else sibling.children).append(
+                    node.children[i]
+                )
+        node.entries = keep_entries
+        if node.is_leaf:
+            node.members = keep_members
+        else:
+            node.children = keep_children
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def leaf_clusters(self) -> list[list[int]]:
+        """The CF-entry member lists — BIRCH's phase-1 micro-clusters."""
+        out: list[list[int]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(node.members)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def labels(self) -> np.ndarray:
+        """Cluster label per point id (micro-cluster index)."""
+        labels = np.full(self.n_points, -1, dtype=np.intp)
+        for cluster_id, members in enumerate(self.leaf_clusters()):
+            for pid in members:
+                labels[pid] = cluster_id
+        return labels

@@ -1,0 +1,138 @@
+"""k-means and k-medoids clustering (paper Section II-B, refs [15-17]).
+
+Means/medoid methods "choose k initial medoids, calculate the average
+distance to them and then attempt to sample better means/medoids".  The
+paper's objection (Section II-C, "Cluster Shape") is that such clusters
+have arbitrary shapes and sizes, so two members of one cluster need *not*
+be within the query range of each other — which
+:func:`repro.baselines.postprocess.evaluate_postprocessing` demonstrates
+quantitatively.
+
+Implementations are deliberately standard: Lloyd's algorithm with
+k-means++ seeding, and a PAM-style k-medoids with CLARANS-like sampled
+swaps so it stays usable on join-sized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.metrics import Metric, get_metric
+
+__all__ = ["kmeans", "kmedoids", "kmeans_pp_seeds"]
+
+
+def kmeans_pp_seeds(
+    points: np.ndarray, k: int, rng: np.random.Generator, metric: Metric
+) -> np.ndarray:
+    """k-means++ seeding: D^2-weighted center sampling."""
+    n = len(points)
+    centers = [points[int(rng.integers(0, n))]]
+    closest_sq = metric.point_to_points(centers[0], points) ** 2
+    for _ in range(1, k):
+        total = float(closest_sq.sum())
+        if total == 0.0:  # fewer distinct points than k
+            centers.append(points[int(rng.integers(0, n))])
+            continue
+        idx = int(rng.choice(n, p=closest_sq / total))
+        centers.append(points[idx])
+        closest_sq = np.minimum(
+            closest_sq, metric.point_to_points(points[idx], points) ** 2
+        )
+    return np.array(centers)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    metric: object = None,
+    max_iter: int = 50,
+    seed: int = 0,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means; returns ``(labels, centers)``.
+
+    >>> import numpy as np
+    >>> pts = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+    >>> labels, centers = kmeans(pts, 2, seed=1)
+    >>> len(set(labels[:10].tolist())) == 1 and len(set(labels.tolist())) == 2
+    True
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if not 1 <= k <= len(pts):
+        raise ValueError(f"k must be in [1, {len(pts)}], got {k}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be positive, got {max_iter}")
+    m = get_metric(metric)
+    rng = np.random.default_rng(seed)
+    centers = kmeans_pp_seeds(pts, k, rng, m)
+    labels = np.zeros(len(pts), dtype=np.intp)
+    for _ in range(max_iter):
+        dists = m.pairwise(pts, centers)
+        labels = np.argmin(dists, axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = pts[labels == j]
+            if len(members):
+                new_centers[j] = members.mean(axis=0)
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift <= tol:
+            break
+    return labels, centers
+
+
+def kmedoids(
+    points: np.ndarray,
+    k: int,
+    metric: object = None,
+    max_swaps: int = 200,
+    sample_size: int = 32,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CLARANS-style k-medoids; returns ``(labels, medoid_ids)``.
+
+    Starting from random medoids, repeatedly samples a (medoid,
+    non-medoid) swap and keeps it when the total assignment cost drops;
+    stops after ``max_swaps`` consecutive non-improving samples.  Costs
+    are evaluated on a sample of ``sample_size`` candidate swaps per
+    round, the CLARANS trick that avoids PAM's O(k (n-k)^2) sweep.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    n = len(pts)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    m = get_metric(metric)
+    rng = np.random.default_rng(seed)
+    medoids = rng.choice(n, size=k, replace=False)
+
+    def cost_of(medoid_ids: np.ndarray) -> tuple[float, np.ndarray]:
+        dists = m.pairwise(pts, pts[medoid_ids])
+        labels = np.argmin(dists, axis=1)
+        return float(dists[np.arange(n), labels].sum()), labels
+
+    best_cost, labels = cost_of(medoids)
+    stale = 0
+    while stale < max_swaps:
+        swaps_tried = 0
+        improved = False
+        while swaps_tried < sample_size:
+            swaps_tried += 1
+            medoid_pos = int(rng.integers(0, k))
+            candidate = int(rng.integers(0, n))
+            if candidate in medoids:
+                continue
+            trial = medoids.copy()
+            trial[medoid_pos] = candidate
+            trial_cost, trial_labels = cost_of(trial)
+            if trial_cost < best_cost:
+                medoids, best_cost, labels = trial, trial_cost, trial_labels
+                improved = True
+                break
+        if improved:
+            stale = 0
+        else:
+            stale += sample_size
+    return labels, medoids

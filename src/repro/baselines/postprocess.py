@@ -1,0 +1,138 @@
+"""Measuring Section II-C: why clustering post-processing is insufficient.
+
+The paper rejects "join first, cluster afterwards" on three grounds.
+This module turns each claim into a measurement on a concrete dataset:
+
+* **Cluster shape** — treat each cluster of k-means / k-medoids /
+  single-linkage / BIRCH as a compact group and count *violating pairs*:
+  cluster co-members farther apart than the query range.  A valid
+  compact representation must have zero (the compact join provably
+  does — Theorem 2).
+* **Losslessness** — count qualifying pairs that *cross* clusters: links
+  a cluster-based "compact output" would silently drop (Theorem 1
+  violations).
+* **Runtime** — clustering runs on top of the already-expensive join,
+  whereas the compact join replaces it.
+
+:func:`evaluate_postprocessing` runs all baselines on one dataset and
+returns a row per method, including the compact join as reference.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.birch import BirchTree
+from repro.baselines.hierarchical import single_linkage_from_links
+from repro.baselines.kmeans import kmeans, kmedoids
+from repro.core.bruteforce import brute_force_links
+from repro.core.csj import csj
+from repro.geometry.metrics import get_metric
+from repro.index.bulk import bulk_load
+
+__all__ = ["PostProcessReport", "cluster_violations", "evaluate_postprocessing"]
+
+
+class PostProcessReport(dict):
+    """One method's measurements (a dict with stable keys).
+
+    Keys: ``method``, ``clusters``, ``violating_pairs`` (Theorem 2
+    failures), ``missing_links`` (Theorem 1 failures), ``seconds``.
+    """
+
+
+def cluster_violations(
+    points: np.ndarray,
+    labels: np.ndarray,
+    eps: float,
+    ground_truth: set[tuple[int, int]],
+    metric: object = None,
+) -> tuple[int, int]:
+    """(violating co-member pairs, qualifying pairs crossing clusters).
+
+    The first number measures the "cluster shape" failure — pairs a
+    group-per-cluster output would *wrongly imply*; the second measures
+    the links it would *lose*.
+    """
+    m = get_metric(metric)
+    labels = np.asarray(labels)
+    violating = 0
+    implied: set[tuple[int, int]] = set()
+    for label in np.unique(labels):
+        member_ids = np.nonzero(labels == label)[0]
+        if len(member_ids) < 2:
+            continue
+        dists = m.self_pairwise(points[member_ids])
+        rows, cols = np.nonzero(np.triu(np.ones_like(dists, dtype=bool), k=1))
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            pair = (int(member_ids[r]), int(member_ids[c]))
+            implied.add(pair)
+            if dists[r, c] >= eps:
+                violating += 1
+    missing = sum(1 for pair in ground_truth if pair not in implied)
+    return violating, missing
+
+
+def evaluate_postprocessing(
+    points: np.ndarray,
+    eps: float,
+    n_clusters: Optional[int] = None,
+    seed: int = 0,
+    methods: Sequence[str] = ("kmeans", "kmedoids", "single-linkage", "birch", "csj"),
+) -> list[PostProcessReport]:
+    """Run each baseline as a compact-output candidate and measure it.
+
+    ``n_clusters`` defaults to the number of groups CSJ(10) produced, the
+    fairest budget for the means/medoids methods.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    truth = brute_force_links(pts, eps)
+    tree = bulk_load(pts, max_entries=32)
+
+    start = time.perf_counter()
+    compact = csj(tree, eps, g=10)
+    csj_seconds = time.perf_counter() - start
+    if n_clusters is None:
+        n_clusters = max(1, compact.stats.groups_emitted + compact.stats.links_emitted)
+        n_clusters = min(n_clusters, max(1, len(pts) // 2))
+
+    rows: list[PostProcessReport] = []
+    for method in methods:
+        start = time.perf_counter()
+        if method == "kmeans":
+            labels, _ = kmeans(pts, n_clusters, seed=seed)
+        elif method == "kmedoids":
+            labels, _ = kmedoids(
+                pts, min(n_clusters, 50), seed=seed, max_swaps=60, sample_size=16
+            )
+        elif method == "single-linkage":
+            labels = single_linkage_from_links(truth, len(pts))
+        elif method == "birch":
+            labels = BirchTree(pts.shape[1], threshold=eps / 2).fit(pts).labels()
+        elif method == "csj":
+            report = PostProcessReport(
+                method="csj(10)",
+                clusters=compact.stats.groups_emitted,
+                violating_pairs=0,  # Theorem 2; asserted by the test suite
+                missing_links=0,  # Theorem 1
+                seconds=csj_seconds,
+            )
+            rows.append(report)
+            continue
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        seconds = time.perf_counter() - start
+        violating, missing = cluster_violations(pts, labels, eps, truth)
+        rows.append(
+            PostProcessReport(
+                method=method,
+                clusters=int(len(np.unique(labels))),
+                violating_pairs=violating,
+                missing_links=missing,
+                seconds=seconds,
+            )
+        )
+    return rows

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro`` or the ``csj`` script.
+
+Subcommands
+-----------
+
+``join``
+    Run a similarity join over a generated dataset or a whitespace-
+    separated coordinate file and write the compact output.
+
+``experiment``
+    Reproduce one of the paper's figures (``fig5``, ``fig6``, ``fig7``,
+    ``fig8``, ``exp4``) or an ablation (``bulk``, ``capacity``,
+    ``egrid``); prints a plain-text table of rows.
+
+``demo``
+    The Figure 1 walk-through: seven points, eight links, three groups.
+
+Examples::
+
+    csj join --dataset mg_county -n 5000 --eps 0.05 --algorithm csj -g 10
+    csj experiment fig6
+    csj demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="csj",
+        description="Compact Similarity Joins (ICDE 2008) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    join = sub.add_parser("join", help="run a similarity join")
+    source = join.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="generated dataset name")
+    source.add_argument("--input", help="coordinate text file (one point per line)")
+    join.add_argument("-n", type=int, default=10_000, help="points to generate")
+    join.add_argument("--seed", type=int, default=0)
+    join.add_argument("--eps", type=float, required=True, help="query range")
+    join.add_argument(
+        "--algorithm",
+        default="csj",
+        choices=["ssj", "ncsj", "csj", "egrid", "egrid-csj"],
+    )
+    join.add_argument("-g", type=int, default=10, help="CSJ merge window")
+    join.add_argument("--index", default="rstar", choices=["rtree", "rstar", "mtree"])
+    join.add_argument("--metric", default="euclidean")
+    join.add_argument("--output", help="write the result file here")
+    join.add_argument(
+        "--verify", action="store_true", help="check losslessness vs brute force"
+    )
+
+    experiment = sub.add_parser("experiment", help="reproduce a paper artifact")
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig5", "fig6", "fig7", "fig8", "exp4",
+            "bulk", "capacity", "egrid", "fractal", "postprocess",
+        ],
+    )
+    experiment.add_argument(
+        "--dataset", help="restrict fig5 to one dataset", default=None
+    )
+    experiment.add_argument("-n", type=int, default=None, help="override dataset size")
+    experiment.add_argument("--iterations", type=int, default=1)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="density-connectivity clusters from a compact join "
+        "(Section IV-D downstream processing)",
+    )
+    cluster.add_argument("--dataset", required=True, help="generated dataset name")
+    cluster.add_argument("-n", type=int, default=10_000)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--eps", type=float, required=True)
+    cluster.add_argument("-g", type=int, default=10)
+    cluster.add_argument(
+        "--top", type=int, default=10, help="largest clusters to print"
+    )
+
+    sub.add_parser("demo", help="the paper's Figure 1 walk-through")
+    return parser
+
+
+def _load_points(args: argparse.Namespace) -> np.ndarray:
+    if args.input:
+        return np.loadtxt(args.input, dtype=float, ndmin=2)
+    from repro.datasets import load_dataset
+
+    return load_dataset(args.dataset, args.n, seed=args.seed)
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.api import similarity_join
+    from repro.core.results import TextSink
+    from repro.core.verify import check_equivalence
+    from repro.io.writer import width_for
+
+    points = _load_points(args)
+    sink = None
+    if args.output:
+        sink = TextSink(args.output, id_width=width_for(len(points)))
+    result = similarity_join(
+        points,
+        args.eps,
+        algorithm=args.algorithm,
+        g=args.g,
+        index=args.index,
+        metric=args.metric,
+        sink=sink,
+    )
+    if sink is not None:
+        sink.close()
+    stats = result.stats
+    print(f"algorithm      : {result.algorithm}")
+    print(f"points         : {len(points)} x {points.shape[1]}")
+    print(f"query range    : {args.eps:g}")
+    print(f"links emitted  : {stats.links_emitted}")
+    print(f"groups emitted : {stats.groups_emitted}")
+    print(f"output bytes   : {stats.bytes_written}")
+    print(f"early stops    : {stats.early_stops}")
+    print(f"distance comps : {stats.distance_computations}")
+    print(f"total time     : {stats.total_time:.3f}s "
+          f"(compute {stats.compute_time:.3f}s + write {stats.write_time:.3f}s)")
+    if args.output:
+        print(f"output file    : {args.output}")
+    if args.verify:
+        report = check_equivalence(points, args.eps, result, metric=args.metric)
+        print(f"verification   : {report!r}")
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, ablations, tables
+    from repro.experiments import exp4, fig5, fig6, fig7, fig8
+
+    config = ExperimentConfig(iterations=args.iterations)
+    if args.name == "fig5":
+        names = [args.dataset] if args.dataset else None
+        rows = fig5.run(datasets=names, config=config)
+    elif args.name == "fig6":
+        rows = fig6.run(n=args.n, config=config)
+    elif args.name == "fig7":
+        rows = fig7.run(config=config)
+    elif args.name == "fig8":
+        rows = fig8.run(n=args.n, config=config)
+    elif args.name == "exp4":
+        rows = exp4.run(n=args.n, config=config)
+    elif args.name == "bulk":
+        rows = ablations.run_bulk(n=args.n, config=config)
+    elif args.name == "capacity":
+        rows = ablations.run_capacity(n=args.n, config=config)
+    elif args.name == "fractal":
+        rows = ablations.run_fractal(n=args.n, config=config)
+    elif args.name == "postprocess":
+        rows = ablations.run_postprocess(n=args.n, config=config)
+    else:
+        rows = ablations.run_egrid(n=args.n, config=config)
+    print(tables.format_table(rows, title=f"Experiment {args.name}"))
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.api import similarity_join
+
+    # Seven points shaped like the paper's Figure 1: a four-point dense
+    # cluster, a nearby pair-bridging point, and an isolated pair.
+    points = np.array(
+        [
+            [0.10, 0.12],  # 1
+            [0.13, 0.10],  # 2
+            [0.11, 0.15],  # 3
+            [0.14, 0.14],  # 4
+            [0.18, 0.16],  # 5
+            [0.60, 0.60],  # 6
+            [0.63, 0.62],  # 7
+        ]
+    )
+    eps = 0.07
+    standard = similarity_join(points, eps, algorithm="ssj", max_entries=4)
+    compact = similarity_join(points, eps, algorithm="csj", g=10, max_entries=4)
+    print("Figure 1 walk-through (7 points, query range", eps, ")")
+    print(f"standard join : {sorted(standard.links)}")
+    print(f"  -> {standard.stats.links_emitted} links, "
+          f"{standard.output_bytes} bytes")
+    print(f"compact join  : groups={compact.groups} links={sorted(compact.links)}")
+    print(f"  -> {compact.stats.groups_emitted} groups + "
+          f"{compact.stats.links_emitted} links, {compact.output_bytes} bytes")
+    saved = 1 - compact.output_bytes / standard.output_bytes
+    print(f"space savings : {saved:.0%}, losslessly "
+          f"(expansions equal: {compact.expanded_links() == standard.expanded_links()})")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.api import similarity_join
+    from repro.core.clusters import component_sizes, connected_components
+    from repro.datasets import load_dataset
+
+    points = load_dataset(args.dataset, args.n, seed=args.seed)
+    result = similarity_join(points, args.eps, algorithm="csj", g=args.g)
+    labels = connected_components(result, len(points))
+    sizes = component_sizes(labels)
+    nontrivial = sizes[sizes > 1]
+    print(f"points          : {len(points)}")
+    print(f"compact output  : {result.stats.groups_emitted} groups + "
+          f"{result.stats.links_emitted} links ({result.output_bytes} bytes)")
+    print(f"clusters        : {len(nontrivial)} with >= 2 members, "
+          f"{int((sizes == 1).sum())} singletons")
+    print(f"largest clusters: "
+          f"{sorted(nontrivial.tolist(), reverse=True)[: args.top]}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "join":
+        return _cmd_join(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    return _cmd_demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

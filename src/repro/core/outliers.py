@@ -1,0 +1,81 @@
+"""Outlier mining on compact join output (Sections I and IV-D).
+
+The paper motivates the compact representation as "a type of pre-sort" for
+outlier detection: points that only ever appear in *small* groups are far
+from any dense region, while members of large groups are deeply embedded
+in one.  This module implements that analysis:
+
+* :func:`group_size_profile` — for every point, the largest group (or
+  link) it appears in;
+* :func:`find_outliers` — points whose largest membership stays below a
+  threshold, including points appearing in *no* group (isolated beyond the
+  query range from everything);
+* :func:`rank_by_isolation` — all points ordered most-isolated first.
+
+Scores are computed directly on the compact output, never expanding it —
+which is the whole point: the analysis runs on O(output) memory even when
+the link set would have exploded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import JoinResult
+
+__all__ = ["group_size_profile", "find_outliers", "rank_by_isolation"]
+
+
+def group_size_profile(result: JoinResult, n_points: int) -> np.ndarray:
+    """Largest output membership per point id.
+
+    Returns an array ``profile`` of length ``n_points``: ``profile[i]`` is
+    the size of the largest group containing ``i`` (links count as size-2
+    groups); ``0`` means the point appears in no output line at all.
+    """
+    if n_points < 0:
+        raise ValueError("n_points must be non-negative")
+    profile = np.zeros(n_points, dtype=np.int64)
+    for i, j in result.links:
+        profile[i] = max(profile[i], 2)
+        profile[j] = max(profile[j], 2)
+    for ids in result.groups:
+        size = len(ids)
+        for i in ids:
+            profile[i] = max(profile[i], size)
+    for ids_a, ids_b in result.group_pairs:
+        size = len(ids_a) + len(ids_b)
+        for i in ids_a:
+            profile[i] = max(profile[i], size)
+        for j in ids_b:
+            profile[j] = max(profile[j], size)
+    return profile
+
+
+def find_outliers(
+    result: JoinResult,
+    n_points: int,
+    max_group_size: int = 2,
+    include_isolated: bool = True,
+) -> np.ndarray:
+    """Point ids whose largest membership is at most ``max_group_size``.
+
+    ``include_isolated=False`` drops points that never appear in the
+    output (useful when isolation is already known from other filters).
+    """
+    profile = group_size_profile(result, n_points)
+    mask = profile <= max_group_size
+    if not include_isolated:
+        mask &= profile > 0
+    return np.nonzero(mask)[0]
+
+
+def rank_by_isolation(result: JoinResult, n_points: int) -> np.ndarray:
+    """All point ids ordered most isolated first.
+
+    The primary key is the largest membership (ascending: the emptier a
+    point's neighbourhood, the earlier it ranks); ties keep id order for
+    determinism.
+    """
+    profile = group_size_profile(result, n_points)
+    return np.argsort(profile, kind="stable")

@@ -1,0 +1,61 @@
+"""Dataset generators reproducing the paper's four workloads.
+
+The paper evaluates on Montgomery County (27K points, 2-D), Long Beach
+County (36K, 2-D), a 3-D Sierpinski pyramid (100K) and Pacific-NW TIGER
+road endpoints (1.5M, 2-D).  The three real datasets cannot be shipped, so
+seeded generators reproduce their statistical shape — strongly clustered
+2-D point sets with street-grid / road-corridor structure — which is the
+property the algorithms are sensitive to (local density versus query
+range).  The Sierpinski pyramid is generated exactly as in the paper.
+
+All generators return points normalised to the unit square / cube, as the
+paper normalises all its data (Section VI).
+"""
+
+from repro.datasets.county import lb_county, mg_county
+from repro.datasets.normalize import normalize_unit_box
+from repro.datasets.roads import pacific_nw
+from repro.datasets.sierpinski import sierpinski_pyramid, sierpinski_triangle
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    grid_points,
+    line_points,
+    uniform_points,
+)
+
+__all__ = [
+    "mg_county",
+    "lb_county",
+    "pacific_nw",
+    "sierpinski_pyramid",
+    "sierpinski_triangle",
+    "uniform_points",
+    "gaussian_clusters",
+    "grid_points",
+    "line_points",
+    "normalize_unit_box",
+    "load_dataset",
+]
+
+_GENERATORS = {
+    "mg_county": mg_county,
+    "lb_county": lb_county,
+    "pacific_nw": pacific_nw,
+    "sierpinski3d": sierpinski_pyramid,
+    "uniform": uniform_points,
+}
+
+
+def load_dataset(name: str, n: int, seed: int = 0):
+    """Generate one of the paper's datasets by name at a chosen size.
+
+    Names: ``mg_county``, ``lb_county``, ``pacific_nw``, ``sierpinski3d``,
+    ``uniform``.
+    """
+    try:
+        generator = _GENERATORS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; known: {sorted(_GENERATORS)}"
+        ) from None
+    return generator(n, seed=seed)

@@ -1,0 +1,37 @@
+"""Normalisation to the unit box.
+
+"All data sets were normalized to fit into the unit square" (Section VI).
+Aspect ratio is preserved by default — all axes are scaled by the same
+factor — because the paper's query ranges are absolute distances and
+anisotropic scaling would distort them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_unit_box"]
+
+
+def normalize_unit_box(points: np.ndarray, preserve_aspect: bool = True) -> np.ndarray:
+    """Scale and translate ``points`` into ``[0, 1]^d``.
+
+    With ``preserve_aspect`` (the default) a single scale factor — the
+    largest axis extent — is used, so inter-point distances are scaled
+    uniformly; the data then spans [0, 1] on its widest axis and a
+    sub-interval elsewhere.  Without it each axis is stretched to [0, 1]
+    independently.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.size == 0:
+        return pts.copy()
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    if preserve_aspect:
+        scale = float(span.max())
+        if scale == 0.0:
+            scale = 1.0
+        return (pts - lo) / scale
+    span = span.copy()
+    span[span == 0.0] = 1.0
+    return (pts - lo) / span

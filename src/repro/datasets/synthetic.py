@@ -1,0 +1,66 @@
+"""Basic synthetic point generators for tests and ablations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["uniform_points", "gaussian_clusters", "grid_points", "line_points"]
+
+
+def uniform_points(n: int, seed: int = 0, dim: int = 2) -> np.ndarray:
+    """``n`` points uniform in the unit box."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return np.random.default_rng(seed).random((n, dim))
+
+
+def gaussian_clusters(
+    n: int,
+    seed: int = 0,
+    dim: int = 2,
+    n_clusters: int = 10,
+    std: float = 0.02,
+    centers: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``n`` points from a mixture of isotropic Gaussians, clipped to the
+    unit box.  The canonical "locally dense" workload: for query ranges
+    comparable to ``std`` each cluster produces an output explosion."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    if centers is None:
+        centers = rng.random((n_clusters, dim))
+    centers = np.atleast_2d(np.asarray(centers, dtype=float))
+    choice = rng.integers(0, len(centers), size=n)
+    pts = centers[choice] + rng.normal(scale=std, size=(n, centers.shape[1]))
+    return np.clip(pts, 0.0, 1.0)
+
+
+def grid_points(side: int, dim: int = 2, jitter: float = 0.0, seed: int = 0) -> np.ndarray:
+    """A regular ``side ** dim`` lattice in the unit box, optionally
+    jittered.  Deterministic worst case for tie-breaking and boundary
+    tests (many exactly equal pairwise distances)."""
+    if side < 1:
+        raise ValueError(f"side must be positive, got {side}")
+    axes = [np.linspace(0.0, 1.0, side)] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    pts = np.stack([m.ravel() for m in mesh], axis=1)
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        pts = np.clip(pts + rng.normal(scale=jitter, size=pts.shape), 0.0, 1.0)
+    return pts
+
+
+def line_points(n: int, dim: int = 2, spacing: float = 1.0) -> np.ndarray:
+    """``n`` evenly spaced collinear points (first axis), rest zero.
+
+    Reproduces the paper's 1-D worked examples: the integers on the real
+    line of Figure 2 and the insertion-ordering example of Section V-B.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    pts = np.zeros((n, dim))
+    pts[:, 0] = np.arange(n) * spacing
+    return pts

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (Section VI).
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.fig5` — Experiment 1: time and output size vs
+  query range, four datasets, SSJ / N-CSJ / CSJ(10);
+* :mod:`repro.experiments.fig6` — Experiment 1b: CSJ(g) for
+  g in {1..100} on MG-County-like data;
+* :mod:`repro.experiments.fig7` — Experiment 2: scalability with the
+  number of Sierpinski3D points at eps = 0.125;
+* :mod:`repro.experiments.fig8` — Experiment 3: computation vs disk-write
+  time split;
+* :mod:`repro.experiments.exp4` — Experiment 4: different tree structures;
+* :mod:`repro.experiments.ablations` — our additional studies (bulk
+  loading, node capacity, epsilon-grid-order extension).
+
+Every module exposes ``run(...) -> list[dict]`` returning one row per
+measured point, and the CLI prints them as tables.  Like the paper, runs
+whose output would explode beyond a byte budget are *estimated* instead of
+executed (the paper's filled "crashed" symbols); estimated rows carry
+``estimated=True``.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_QUERY_RANGES,
+    ExperimentConfig,
+    run_algorithm,
+    run_suite,
+)
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "run_algorithm",
+    "run_suite",
+    "DEFAULT_QUERY_RANGES",
+    "format_table",
+]

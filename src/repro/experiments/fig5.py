@@ -1,0 +1,77 @@
+"""Experiment 1 / Figure 5: time and output size versus query range.
+
+For each of the four datasets and each of nine query ranges (log-spaced in
+``[2**-9, 1/2]``) the paper compares SSJ, N-CSJ and CSJ(10) on runtime
+(left column) and output size (right column).  Expected shape:
+
+1. N-CSJ is never worse than SSJ; strictly better at large ranges.
+2. CSJ(10) wins everywhere, with ~2x output over N-CSJ at large ranges.
+3. The divergence point between SSJ and the compact joins shifts with
+   dataset size and density.
+4. SSJ "crashes" (exceeds the byte budget) at the largest ranges and is
+   plotted as an estimate.
+
+Dataset sizes default to laptop-friendly values and scale with the
+``REPRO_SCALE`` environment variable (see
+:func:`repro.experiments.runner.scaled`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets import lb_county, mg_county, pacific_nw, sierpinski_pyramid
+from repro.experiments.runner import (
+    DEFAULT_QUERY_RANGES,
+    ExperimentConfig,
+    run_suite,
+    scaled,
+)
+
+__all__ = ["DATASETS", "run", "run_dataset"]
+
+#: Figure 5's four datasets with paper sizes scaled down 1/5 by default
+#: (Pacific NW 1/15; see DESIGN.md on Python-vs-C++ scaling).
+DATASETS = {
+    "mg_county": (mg_county, 5_400),
+    "lb_county": (lb_county, 7_200),
+    "sierpinski3d": (sierpinski_pyramid, 20_000),
+    "pacific_nw": (pacific_nw, 100_000),
+}
+
+#: Pacific NW uses smaller ranges in the paper (its x axis stops around
+#: 2**-2); we keep the shared grid but cap it for feasibility.
+_PACIFIC_MAX_EPS = 2.0 ** -4
+
+
+def run_dataset(
+    name: str,
+    n: Optional[int] = None,
+    query_ranges: Sequence[float] = DEFAULT_QUERY_RANGES,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Run the Figure 5 sweep for one named dataset."""
+    generator, default_n = DATASETS[name]
+    n = n if n is not None else scaled(default_n)
+    points = generator(n, seed=seed)
+    if name == "pacific_nw":
+        query_ranges = [e for e in query_ranges if e <= _PACIFIC_MAX_EPS]
+    return run_suite(
+        points,
+        query_ranges,
+        algorithms=("ssj", "ncsj", ("csj", 10)),
+        config=config,
+        dataset_name=name,
+    )
+
+
+def run(
+    datasets: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> list[dict]:
+    """Run the full Figure 5 grid; returns one row per (dataset, eps, alg)."""
+    rows: list[dict] = []
+    for name in datasets or DATASETS:
+        rows.extend(run_dataset(name, config=config))
+    return rows

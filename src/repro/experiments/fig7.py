@@ -1,0 +1,42 @@
+"""Experiment 2 / Figure 7: scalability with the number of data points.
+
+Sierpinski3D point counts grow at a fixed query range ``eps = 0.125``.
+Expected shape: SSJ's runtime and output size grow quadratically (an
+output explosion — the paper's largest points are estimates because they
+exceeded free disk space), while N-CSJ and CSJ(10) grow near-linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets import sierpinski_pyramid
+from repro.experiments.runner import ExperimentConfig, run_algorithm, scaled
+
+__all__ = ["DEFAULT_SIZES", "run"]
+
+#: Point-count ladder (the paper goes to 5e5; scaled down by default).
+DEFAULT_SIZES: tuple[int, ...] = (1_000, 2_000, 5_000, 10_000, 20_000, 50_000)
+
+
+def run(
+    sizes: Optional[Sequence[int]] = None,
+    eps: float = 0.125,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Sweep dataset size at fixed ``eps``; one row per (n, algorithm)."""
+    config = config or ExperimentConfig()
+    sizes = [scaled(s) for s in (sizes or DEFAULT_SIZES)]
+    rows: list[dict] = []
+    for n in sizes:
+        points = sierpinski_pyramid(n, seed=seed)
+        tree = config.build_tree(points)
+        calibration = None
+        for spec in ("ssj", "ncsj", ("csj", 10)):
+            name, g = spec if isinstance(spec, tuple) else (spec, 10)
+            row = run_algorithm(name, tree, eps, g=g, config=config)
+            row["dataset"] = "sierpinski3d"
+            row["n"] = n
+            rows.append(row)
+    return rows

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment rows."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _render(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_render(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        for line in cells
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(parts)
+
+
+def format_rows(rows: Sequence[dict], title: str = "") -> str:
+    """Shorthand: format with the standard experiment column set."""
+    columns = [
+        c
+        for c in (
+            "dataset",
+            "n",
+            "algorithm",
+            "g",
+            "eps",
+            "links",
+            "groups",
+            "output_bytes",
+            "total_time",
+            "compute_time",
+            "write_time",
+            "early_stops",
+            "estimated",
+        )
+        if any(c in row for row in rows)
+    ]
+    return format_table(rows, columns=columns, title=title)

@@ -1,0 +1,32 @@
+"""Geometric primitives: metrics, bounding rectangles, balls, curves.
+
+Everything the index structures and join algorithms need is defined here,
+with no dependency on any spatial library.  The two bounding shapes are
+
+* :class:`~repro.geometry.mbr.MBR` — minimum bounding hyper-rectangles,
+  used by the R-tree family and by the compact join's groups (Section V-A
+  of the paper argues for hyper-rectangles over bounding circles), and
+* :class:`~repro.geometry.ball.Ball` — bounding balls, used by the M-tree.
+"""
+
+from repro.geometry.ball import Ball
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import (
+    Chebyshev,
+    Euclidean,
+    Manhattan,
+    Metric,
+    Minkowski,
+    get_metric,
+)
+
+__all__ = [
+    "MBR",
+    "Ball",
+    "Metric",
+    "Minkowski",
+    "Euclidean",
+    "Manhattan",
+    "Chebyshev",
+    "get_metric",
+]

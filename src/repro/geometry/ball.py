@@ -1,0 +1,91 @@
+"""Bounding balls, the covering shape used by the M-tree.
+
+The compact join algorithms only require that each index node exposes an
+upper bound on the pairwise distance of the points it covers and lower /
+upper bounds on the distance between two nodes (Section IV of the paper).
+For a ball of radius ``r`` around center ``c``:
+
+* diameter upper bound: ``2 r``;
+* minimum distance between two balls: ``max(0, d(c1, c2) - r1 - r2)``;
+* maximum distance between two balls: ``d(c1, c2) + r1 + r2``;
+* diameter upper bound for the union of two balls:
+  ``max(2 r1, 2 r2, d(c1, c2) + r1 + r2)``.
+
+These bounds are conservative rather than tight, which is safe: the early
+stop fires less often but never incorrectly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.metrics import Metric, get_metric
+
+__all__ = ["Ball"]
+
+
+class Ball:
+    """A metric ball with a center point and covering radius."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: np.ndarray, radius: float):
+        self.center = np.asarray(center, dtype=float).copy()
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        self.radius = float(radius)
+
+    @classmethod
+    def of_points(cls, points: np.ndarray, metric: Optional[Metric] = None) -> "Ball":
+        """Ball centered on the first point, covering all ``points``.
+
+        The M-tree anchors each node's ball on a *routing object* (an actual
+        data point), so we mirror that: the center is ``points[0]`` and the
+        radius is its largest distance to the rest.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.size == 0:
+            raise ValueError("cannot build a Ball of zero points")
+        m = get_metric(metric)
+        radius = float(np.max(m.point_to_points(pts[0], pts))) if len(pts) > 1 else 0.0
+        return cls(pts[0], radius)
+
+    @property
+    def dim(self) -> int:
+        return self.center.shape[0]
+
+    def diameter(self) -> float:
+        """Upper bound on pairwise distances of covered points."""
+        return 2.0 * self.radius
+
+    def contains_point(self, point: np.ndarray, metric: Optional[Metric] = None) -> bool:
+        return get_metric(metric).distance(self.center, point) <= self.radius
+
+    def min_dist(self, other: "Ball", metric: Optional[Metric] = None) -> float:
+        d = get_metric(metric).distance(self.center, other.center)
+        return max(0.0, d - self.radius - other.radius)
+
+    def max_dist(self, other: "Ball", metric: Optional[Metric] = None) -> float:
+        d = get_metric(metric).distance(self.center, other.center)
+        return d + self.radius + other.radius
+
+    def union_diameter(self, other: "Ball", metric: Optional[Metric] = None) -> float:
+        """Upper bound on pairwise distances of points covered by either ball."""
+        return max(self.diameter(), other.diameter(), self.max_dist(other, metric))
+
+    def min_dist_point(self, point: np.ndarray, metric: Optional[Metric] = None) -> float:
+        d = get_metric(metric).distance(self.center, point)
+        return max(0.0, d - self.radius)
+
+    def max_dist_point(self, point: np.ndarray, metric: Optional[Metric] = None) -> float:
+        return get_metric(metric).distance(self.center, point) + self.radius
+
+    def expanded_to(self, point: np.ndarray, metric: Optional[Metric] = None) -> "Ball":
+        """New ball with the same center, also covering ``point``."""
+        d = get_metric(metric).distance(self.center, point)
+        return Ball(self.center, max(self.radius, d))
+
+    def __repr__(self) -> str:
+        return f"Ball(center={self.center.tolist()}, radius={self.radius:g})"

@@ -1,0 +1,49 @@
+"""Tree index structures: R-tree, R*-tree, M-tree, and bulk loaders.
+
+The compact join algorithms make exactly one assumption about the index
+(Section IV and VII of the paper): the *inclusion property* — a parent
+node's bounding shape completely covers its children — plus the ability to
+compute minimum and maximum distances between two nodes' bounding shapes.
+:mod:`repro.index.base` captures that contract; the concrete trees differ
+only in their bounding shapes and maintenance heuristics.
+"""
+
+from repro.index.base import IndexInvariantError, IndexNode, SpatialIndex
+from repro.index.bulk import bulk_load
+from repro.index.mtree import MTree
+from repro.index.persist import load_index, save_index
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+__all__ = [
+    "SpatialIndex",
+    "IndexNode",
+    "IndexInvariantError",
+    "RTree",
+    "RStarTree",
+    "MTree",
+    "bulk_load",
+    "save_index",
+    "load_index",
+    "get_index_class",
+]
+
+_INDEX_CLASSES = {
+    "rtree": RTree,
+    "r-tree": RTree,
+    "rstar": RStarTree,
+    "r*tree": RStarTree,
+    "r*-tree": RStarTree,
+    "mtree": MTree,
+    "m-tree": MTree,
+}
+
+
+def get_index_class(name: str) -> type[SpatialIndex]:
+    """Resolve an index name (``"rtree"``, ``"rstar"``, ``"mtree"``)."""
+    try:
+        return _INDEX_CLASSES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {name!r}; known: {sorted(set(_INDEX_CLASSES))}"
+        ) from None

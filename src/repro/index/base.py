@@ -1,0 +1,330 @@
+"""The index contract that the join algorithms rely on.
+
+A tree index satisfies the contract if
+
+1. every node exposes a *bounding shape* obeying the inclusion property
+   (parents cover children), and
+2. the shape supports three bounds, each computable in constant time:
+   an upper bound on the pairwise distance of covered points
+   (:meth:`IndexNode.diameter`), a lower bound on the distance between two
+   nodes (:meth:`IndexNode.min_dist`), and an upper bound on the pairwise
+   distance of points covered by either of two nodes
+   (:meth:`IndexNode.union_diameter`).
+
+Those three bounds are the *only* geometric operations in
+:mod:`repro.core.ssj` and :mod:`repro.core.csj`; this is what makes the
+algorithms index-independent (Experiment 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.geometry.metrics import Metric, get_metric
+
+__all__ = ["IndexNode", "SpatialIndex", "IndexInvariantError"]
+
+
+class IndexInvariantError(AssertionError):
+    """Raised by :meth:`SpatialIndex.validate` when a tree is malformed."""
+
+
+class IndexNode(ABC):
+    """A node of a spatial index tree.
+
+    ``level`` is 0 for leaves and increases toward the root.  Leaves hold
+    ``entry_ids`` (indices into the tree's point array); internal nodes
+    hold ``children``.
+    """
+
+    __slots__ = ("level", "children", "entry_ids", "_subtree_ids")
+
+    def __init__(self, level: int):
+        self.level = level
+        self.children: list["IndexNode"] = []
+        self.entry_ids: list[int] = []
+        self._subtree_ids: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def fanout(self) -> int:
+        """Number of direct children (entries for a leaf)."""
+        return len(self.entry_ids) if self.is_leaf else len(self.children)
+
+    def subtree_ids(self) -> np.ndarray:
+        """All point ids stored in this subtree, cached after first use.
+
+        Caches are invalidated along the insertion path by the trees, so it
+        is safe to interleave queries and updates.
+        """
+        if self._subtree_ids is None:
+            if self.is_leaf:
+                self._subtree_ids = np.asarray(self.entry_ids, dtype=np.intp)
+            else:
+                parts = [child.subtree_ids() for child in self.children]
+                self._subtree_ids = (
+                    np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+                )
+        return self._subtree_ids
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached subtree-id array (after structural changes)."""
+        self._subtree_ids = None
+
+    def subtree_count(self) -> int:
+        """Number of points stored in this subtree."""
+        return int(self.subtree_ids().shape[0])
+
+    # -- geometric contract -------------------------------------------------
+    @abstractmethod
+    def diameter(self, metric: Metric) -> float:
+        """Upper bound on the distance between any two covered points."""
+
+    @abstractmethod
+    def min_dist(self, other: "IndexNode", metric: Metric) -> float:
+        """Lower bound on the distance between points of the two nodes."""
+
+    @abstractmethod
+    def union_diameter(self, other: "IndexNode", metric: Metric) -> float:
+        """Upper bound on pairwise distances over the union of both nodes."""
+
+    @abstractmethod
+    def min_dist_point(self, point: np.ndarray, metric: Metric) -> float:
+        """Lower bound on the distance from ``point`` to any covered point."""
+
+    @abstractmethod
+    def covers(self, child: "IndexNode") -> bool:
+        """Inclusion property check: does this node's shape cover ``child``'s?"""
+
+    @abstractmethod
+    def covers_point(self, point: np.ndarray, metric: Metric) -> bool:
+        """Does this node's bounding shape contain ``point``?"""
+
+
+class SpatialIndex(ABC):
+    """Base class for the tree indexes.
+
+    Subclasses implement :meth:`_build` (and optionally incremental
+    maintenance); queries, traversal, statistics and invariant validation
+    are provided generically on top of the :class:`IndexNode` contract.
+    """
+
+    #: Name used by CLI / experiment tables.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        metric: object = None,
+        max_entries: int = 64,
+        min_fill: float = 0.4,
+    ):
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be a (n, d) array, got shape {pts.shape}")
+        if max_entries < 2:
+            raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError(f"min_fill must be in (0, 0.5], got {min_fill}")
+        self.points = pts
+        self.metric = get_metric(metric)
+        self.max_entries = int(max_entries)
+        self.min_entries = max(1, int(max_entries * min_fill))
+        self.root: Optional[IndexNode] = None
+        #: Row ids removed by delete(); validate() excludes them from the
+        #: partition check.
+        self._deleted: set[int] = set()
+        if len(pts):
+            self._build()
+
+    # -- construction -------------------------------------------------------
+    @abstractmethod
+    def _build(self) -> None:
+        """Populate :attr:`root` from :attr:`points`."""
+
+    # -- generic queries ----------------------------------------------------
+    def range_query(self, point: np.ndarray, radius: float) -> np.ndarray:
+        """Ids of stored points with distance strictly below ``radius``.
+
+        Strict inequality matches the join semantics used throughout the
+        paper's pseudo-code ("distance ... < range").
+        """
+        p = np.asarray(point, dtype=float)
+        if self.root is None:
+            return np.empty(0, dtype=np.intp)
+        hits: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.min_dist_point(p, self.metric) >= radius:
+                continue
+            if node.is_leaf:
+                ids = np.asarray(node.entry_ids, dtype=np.intp)
+                dists = self.metric.point_to_points(p, self.points[ids])
+                hits.append(ids[dists < radius])
+            else:
+                stack.extend(node.children)
+        if not hits:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(hits))
+
+    def nearest(self, point: np.ndarray, k: int = 1) -> np.ndarray:
+        """Ids of the ``k`` nearest stored points, closest first.
+
+        Classic best-first (branch-and-bound) search: nodes are expanded
+        in order of their minimum possible distance and pruned once ``k``
+        candidates closer than the node's bound are known.  Ties are
+        broken by id for determinism.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if self.root is None:
+            return np.empty(0, dtype=np.intp)
+        p = np.asarray(point, dtype=float)
+        counter = itertools.count()
+        frontier = [(self.root.min_dist_point(p, self.metric), next(counter), self.root)]
+        # Max-heap of the best k candidates as (-distance, id).
+        best: list[tuple[float, int]] = []
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            # Prune only on a strictly larger bound: a node at exactly the
+            # worst distance may still hold an equal-distance smaller id,
+            # which the deterministic tie-break prefers.
+            if len(best) == k and bound > -best[0][0]:
+                break
+            if node.is_leaf:
+                ids = np.asarray(node.entry_ids, dtype=np.intp)
+                if not len(ids):
+                    continue
+                dists = self.metric.point_to_points(p, self.points[ids])
+                for dist, pid in zip(dists.tolist(), ids.tolist()):
+                    if len(best) < k:
+                        heapq.heappush(best, (-dist, -pid))
+                    elif (dist, pid) < (-best[0][0], -best[0][1]):
+                        heapq.heapreplace(best, (-dist, -pid))
+            else:
+                for child in node.children:
+                    child_bound = child.min_dist_point(p, self.metric)
+                    if len(best) < k or child_bound <= -best[0][0]:
+                        heapq.heappush(frontier, (child_bound, next(counter), child))
+        ordered = sorted((-nd, -nid) for nd, nid in best)
+        return np.array([pid for _, pid in ordered], dtype=np.intp)
+
+    # -- traversal and statistics --------------------------------------------
+    def nodes(self) -> Iterator[IndexNode]:
+        """Pre-order iterator over all nodes."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def leaves(self) -> Iterator[IndexNode]:
+        """Iterator over leaf nodes."""
+        return (node for node in self.nodes() if node.is_leaf)
+
+    @property
+    def size(self) -> int:
+        """Number of rows in the backing point array."""
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self.points.shape[1] if self.points.ndim == 2 else 0
+
+    @property
+    def height(self) -> int:
+        """Number of levels; a single-leaf tree has height 1."""
+        return self.root.level + 1 if self.root is not None else 0
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        return sum(1 for _ in self.nodes())
+
+    def leaf_count(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for _ in self.leaves())
+
+    # -- invariant checking ---------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`IndexInvariantError`.
+
+        Checks: the inclusion property, consistent levels, fanout limits
+        (root excepted), and that leaf entries exactly partition the point
+        ids.  Used heavily by the test suite after random update sequences.
+        """
+        if len(self.points) == 0:
+            if self.root is not None and self.root.subtree_count() != 0:
+                raise IndexInvariantError("empty index with a non-empty root")
+            return
+        if self.root is None:
+            raise IndexInvariantError("non-empty index without a root")
+
+        seen: list[int] = []
+        for node in self.nodes():
+            if node.is_leaf:
+                if node.children:
+                    raise IndexInvariantError("leaf node with children")
+                if not node.entry_ids and node is not self.root:
+                    raise IndexInvariantError("empty non-root leaf")
+                seen.extend(node.entry_ids)
+                if node is not self.root and not (
+                    self.min_entries <= len(node.entry_ids) <= self.max_entries
+                ):
+                    raise IndexInvariantError(
+                        f"leaf fanout {len(node.entry_ids)} outside "
+                        f"[{self.min_entries}, {self.max_entries}]"
+                    )
+                for pid in node.entry_ids:
+                    if not node.covers_point(self.points[pid], self.metric):
+                        raise IndexInvariantError(
+                            f"leaf does not cover its entry {pid}"
+                        )
+            else:
+                if node.entry_ids:
+                    raise IndexInvariantError("internal node with entry ids")
+                if not node.children:
+                    raise IndexInvariantError("internal node without children")
+                if node is not self.root and not (
+                    self.min_entries <= len(node.children) <= self.max_entries
+                ):
+                    raise IndexInvariantError(
+                        f"internal fanout {len(node.children)} outside "
+                        f"[{self.min_entries}, {self.max_entries}]"
+                    )
+                for child in node.children:
+                    if child.level != node.level - 1:
+                        raise IndexInvariantError(
+                            f"child level {child.level} under level {node.level}"
+                        )
+                    if not node.covers(child):
+                        raise IndexInvariantError(
+                            "inclusion property violated: parent does not "
+                            "cover child"
+                        )
+        expected = set(range(len(self.points))) - self._deleted
+        if len(seen) != len(set(seen)) or set(seen) != expected:
+            missing = expected - set(seen)
+            dupes = len(seen) - len(set(seen))
+            raise IndexInvariantError(
+                f"leaf entries do not partition the ids: {len(missing)} "
+                f"missing, {dupes} duplicated"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.size}, dim={self.dim}, "
+            f"height={self.height}, nodes={self.node_count()})"
+        )

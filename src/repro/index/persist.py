@@ -1,0 +1,149 @@
+"""Index persistence: save and load built trees.
+
+The paper assumes "the data is given in a standard tree data structure"
+— in a database the index lives on disk between queries.  This module
+serialises any of the library's trees (R-tree, R*-tree, M-tree) to a
+single ``.npz`` file and restores it structurally identical: same nodes,
+same bounding shapes, same entry order, so joins and queries on the
+loaded tree produce byte-identical output.
+
+Format: the node hierarchy is flattened in pre-order into parallel NumPy
+arrays (levels, parent indices, bounding shapes, leaf-entry spans) plus
+the point array and scalar metadata.  Only named metrics are
+serialisable; trees over :class:`~repro.core.metricspace.ObjectMetric`
+carry a Python callable and must be rebuilt instead.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import get_metric
+from repro.index.base import SpatialIndex
+from repro.index.mtree import BallNode, MTree
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RectNode, RTree
+
+__all__ = ["save_index", "load_index"]
+
+_CLASSES = {"rtree": RTree, "rstar": RStarTree, "mtree": MTree}
+
+
+def save_index(tree: SpatialIndex, path: str) -> None:
+    """Serialise ``tree`` to ``path`` (a ``.npz`` file).
+
+    >>> import numpy as np, tempfile, os
+    >>> from repro.index.bulk import bulk_load
+    >>> tree = bulk_load(np.random.default_rng(0).random((100, 2)))
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     save_index(tree, os.path.join(d, "t.npz"))
+    ...     loaded = load_index(os.path.join(d, "t.npz"))
+    >>> loaded.validate()
+    """
+    kind = type(tree).name
+    if kind not in _CLASSES:
+        raise TypeError(f"cannot persist index type {type(tree).__name__}")
+    metric_name = tree.metric.name
+    if metric_name.startswith("object-"):
+        raise TypeError(
+            "trees over ObjectMetric carry a Python callable and cannot be "
+            "persisted; rebuild them from the objects instead"
+        )
+
+    levels: list[int] = []
+    parents: list[int] = []
+    entry_offsets: list[int] = [0]
+    entries: list[int] = []
+    rect_lo: list[np.ndarray] = []
+    rect_hi: list[np.ndarray] = []
+    routers: list[int] = []
+    radii: list[float] = []
+
+    def walk(node, parent_idx: int) -> None:
+        my_idx = len(levels)
+        levels.append(node.level)
+        parents.append(parent_idx)
+        if isinstance(node, RectNode):
+            rect_lo.append(node.mbr.lo)
+            rect_hi.append(node.mbr.hi)
+        else:
+            routers.append(node.router)
+            radii.append(node.radius)
+        entries.extend(node.entry_ids)
+        entry_offsets.append(len(entries))
+        for child in node.children:
+            walk(child, my_idx)
+
+    if tree.root is not None:
+        walk(tree.root, -1)
+
+    np.savez_compressed(
+        path,
+        kind=np.array(kind),
+        metric=np.array(metric_name),
+        max_entries=np.array(tree.max_entries),
+        min_entries=np.array(tree.min_entries),
+        points=tree.points,
+        deleted=np.array(sorted(tree._deleted), dtype=np.int64),
+        levels=np.array(levels, dtype=np.int64),
+        parents=np.array(parents, dtype=np.int64),
+        entry_offsets=np.array(entry_offsets, dtype=np.int64),
+        entries=np.array(entries, dtype=np.int64),
+        rect_lo=np.array(rect_lo) if rect_lo else np.empty((0, 0)),
+        rect_hi=np.array(rect_hi) if rect_hi else np.empty((0, 0)),
+        routers=np.array(routers, dtype=np.int64),
+        radii=np.array(radii, dtype=float),
+    )
+
+
+def load_index(path: str) -> SpatialIndex:
+    """Restore a tree saved by :func:`save_index`."""
+    with np.load(path, allow_pickle=False) as data:
+        kind = str(data["kind"])
+        cls = _CLASSES.get(kind)
+        if cls is None:
+            raise ValueError(f"unknown index kind {kind!r} in {path}")
+        metric = get_metric(str(data["metric"]))
+        points = data["points"]
+        max_entries = int(data["max_entries"])
+        min_entries = int(data["min_entries"])
+        levels = data["levels"]
+        parents = data["parents"]
+        entry_offsets = data["entry_offsets"]
+        entries = data["entries"]
+        is_rect = kind in ("rtree", "rstar")
+        rect_lo, rect_hi = data["rect_lo"], data["rect_hi"]
+        routers, radii = data["routers"], data["radii"]
+        deleted = set(int(i) for i in data["deleted"])
+
+    tree = cls.__new__(cls)
+    tree.points = points
+    tree.metric = metric
+    tree.max_entries = max_entries
+    tree.min_entries = min_entries
+    tree._deleted = deleted
+    if is_rect:
+        tree.split_method = "quadratic"
+        tree.shuffle_seed = None
+    else:
+        tree.shuffle_seed = None
+    if kind == "rstar":
+        tree._reinserted_levels = set()
+
+    nodes: list[Union[RectNode, BallNode]] = []
+    for i in range(len(levels)):
+        if is_rect:
+            node = RectNode(int(levels[i]), MBR(rect_lo[i], rect_hi[i]))
+        else:
+            node = BallNode(int(levels[i]), int(routers[i]), float(radii[i]))
+            node.center = points[int(routers[i])]
+        node.entry_ids = [int(e) for e in entries[entry_offsets[i]:entry_offsets[i + 1]]]
+        nodes.append(node)
+        parent = int(parents[i])
+        if parent >= 0:
+            nodes[parent].children.append(node)
+    tree.root = nodes[0] if nodes else None
+    return tree

@@ -1,0 +1,13 @@
+"""Output writing and simulated disk I/O.
+
+The paper measures output size as "the size in bytes of the resulting
+output text file", with every point id zero-padded to a fixed width
+(Section VI).  :mod:`repro.io.writer` reproduces that format exactly;
+:mod:`repro.io.pagesim` provides the page/cache access accounting used in
+Experiment 3.
+"""
+
+from repro.io.pagesim import PageCache, PagedFile
+from repro.io.writer import FixedWidthWriter, line_bytes, read_output
+
+__all__ = ["FixedWidthWriter", "read_output", "line_bytes", "PagedFile", "PageCache"]

@@ -1,0 +1,16 @@
+"""Instrumentation and analysis: counters, timers, fractal dimension."""
+
+from repro.stats.counters import JoinStats, Timer
+from repro.stats.fractal import (
+    FractalEstimate,
+    correlation_dimension,
+    correlation_integral,
+)
+
+__all__ = [
+    "JoinStats",
+    "Timer",
+    "FractalEstimate",
+    "correlation_dimension",
+    "correlation_integral",
+]

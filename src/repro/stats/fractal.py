@@ -1,0 +1,100 @@
+"""Intrinsic ("fractal") dimensionality estimation — the paper's future work.
+
+The Conclusion proposes analysing response time "as a function of the
+intrinsic ('fractal') dimensionality of the input data set".  This module
+provides the standard tool for that analysis, the **correlation
+dimension** D2: the pair-count function
+
+    C(r) = #{pairs with distance < r} ~ r^D2
+
+is evaluated on a log-spaced radius grid (each count via the dual-tree
+counter in :mod:`repro.core.bruteforce`, so no pair set is materialised)
+and D2 is the slope of log C against log r over the scaling region.
+
+D2 predicts the output-explosion onset: the expected SSJ output at range
+eps scales like ``n^2 * eps^D2``, so low-dimensional data (roads: D2 ~ 1,
+counties: 1 < D2 < 2, Sierpinski3D: D2 = log 4 / log 2 = 2) explodes at
+much smaller ranges than its embedding dimension suggests.  The ablation
+bench ``bench_ablation_fractal.py`` exercises that prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bruteforce import count_links
+from repro.geometry.metrics import Metric
+
+__all__ = ["correlation_integral", "correlation_dimension", "FractalEstimate"]
+
+
+def correlation_integral(
+    points: np.ndarray,
+    radii: Sequence[float],
+    metric: Optional[Metric] = None,
+) -> np.ndarray:
+    """Pair counts C(r) for each radius (strict ``< r``, unnormalised)."""
+    pts = np.asarray(points, dtype=float)
+    return np.array([count_links(pts, float(r), metric) for r in radii], dtype=float)
+
+
+@dataclass
+class FractalEstimate:
+    """A correlation-dimension fit."""
+
+    #: The fitted correlation dimension D2.
+    dimension: float
+    #: Radii used for the fit (the scaling region actually kept).
+    radii: np.ndarray
+    #: Pair counts at those radii.
+    counts: np.ndarray
+    #: Per-interval local slopes (diagnostics for scaling-region choice).
+    local_slopes: np.ndarray
+
+    def predicted_pairs(self, eps: float, reference_index: int = 0) -> float:
+        """Extrapolate C(eps) from the fit, anchored at one measured radius."""
+        r0 = float(self.radii[reference_index])
+        c0 = float(self.counts[reference_index])
+        return c0 * (eps / r0) ** self.dimension
+
+
+def correlation_dimension(
+    points: np.ndarray,
+    r_min: float = 2.0**-9,
+    r_max: float = 2.0**-3,
+    n_radii: int = 7,
+    metric: Optional[Metric] = None,
+) -> FractalEstimate:
+    """Estimate D2 by least squares on the log-log pair-count curve.
+
+    Radii with zero pair count (below the data's minimum separation) are
+    dropped automatically; at least two non-empty radii are required.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> line = np.stack([rng.random(4000), np.zeros(4000)], axis=1)
+    >>> round(correlation_dimension(line).dimension, 1)
+    1.0
+    """
+    if not 0 < r_min < r_max:
+        raise ValueError(f"need 0 < r_min < r_max, got {r_min}, {r_max}")
+    if n_radii < 2:
+        raise ValueError(f"need at least 2 radii, got {n_radii}")
+    radii = np.exp(np.linspace(np.log(r_min), np.log(r_max), n_radii))
+    counts = correlation_integral(points, radii, metric)
+    keep = counts > 0
+    if keep.sum() < 2:
+        raise ValueError(
+            "too few non-empty radii to fit a dimension; increase r_max "
+            "or the dataset size"
+        )
+    radii, counts = radii[keep], counts[keep]
+    log_r, log_c = np.log(radii), np.log(counts)
+    slope, _ = np.polyfit(log_r, log_c, 1)
+    local = np.diff(log_c) / np.diff(log_r)
+    return FractalEstimate(
+        dimension=float(slope), radii=radii, counts=counts, local_slopes=local
+    )

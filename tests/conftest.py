@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.metrics import Chebyshev, Euclidean, Manhattan, Minkowski
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_2d(rng) -> np.ndarray:
+    """500 uniform points in the unit square."""
+    return rng.random((500, 2))
+
+
+@pytest.fixture
+def uniform_3d(rng) -> np.ndarray:
+    """400 uniform points in the unit cube."""
+    return rng.random((400, 3))
+
+
+@pytest.fixture
+def clustered_2d(rng) -> np.ndarray:
+    """600 points in 6 tight clusters — the output-explosion workload."""
+    centers = rng.random((6, 2))
+    choice = rng.integers(0, 6, size=600)
+    return np.clip(centers[choice] + rng.normal(scale=0.01, size=(600, 2)), 0, 1)
+
+
+ALL_METRICS = [Euclidean(), Manhattan(), Chebyshev(), Minkowski(3)]
+
+
+@pytest.fixture(params=ALL_METRICS, ids=[m.name for m in ALL_METRICS])
+def metric(request):
+    return request.param

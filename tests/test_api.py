@@ -1,0 +1,84 @@
+"""Unit tests for the high-level API (repro.api)."""
+
+import numpy as np
+import pytest
+
+from repro import build_index, similarity_join, spatial_join_datasets
+from repro.core.verify import check_equivalence
+from repro.index import MTree, RStarTree, RTree
+
+
+class TestBuildIndex:
+    def test_default_rstar(self, uniform_2d):
+        tree = build_index(uniform_2d)
+        assert isinstance(tree, RStarTree)
+        tree.validate()
+
+    @pytest.mark.parametrize("name,cls", [("rtree", RTree), ("rstar", RStarTree), ("mtree", MTree)])
+    def test_by_name(self, uniform_2d, name, cls):
+        assert isinstance(build_index(uniform_2d, name), cls)
+
+    def test_bulk_methods(self, uniform_2d):
+        for bulk in ("str", "hilbert", "omt"):
+            build_index(uniform_2d, bulk=bulk).validate()
+
+    def test_passthrough(self, uniform_2d):
+        tree = build_index(uniform_2d)
+        assert build_index(uniform_2d, tree) is tree
+
+    def test_unknown_index(self, uniform_2d):
+        with pytest.raises(ValueError, match="unknown index"):
+            build_index(uniform_2d, "btree")
+
+
+class TestSimilarityJoin:
+    @pytest.mark.parametrize(
+        "algorithm", ["ssj", "ncsj", "csj", "egrid", "egrid-csj", "pbsm", "pbsm-csj"]
+    )
+    def test_all_algorithms_lossless(self, clustered_2d, algorithm):
+        result = similarity_join(clustered_2d, 0.05, algorithm=algorithm)
+        check_equivalence(clustered_2d, 0.05, result).raise_if_failed()
+
+    def test_case_insensitive(self, uniform_2d):
+        result = similarity_join(uniform_2d, 0.05, algorithm="CSJ")
+        assert result.algorithm == "csj(10)"
+
+    def test_unknown_algorithm(self, uniform_2d):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            similarity_join(uniform_2d, 0.05, algorithm="hash-join")
+
+    def test_prebuilt_index_reused(self, uniform_2d):
+        tree = build_index(uniform_2d)
+        result = similarity_join(uniform_2d, 0.05, algorithm="csj", index=tree)
+        check_equivalence(uniform_2d, 0.05, result).raise_if_failed()
+
+    def test_custom_metric(self, uniform_2d):
+        result = similarity_join(uniform_2d, 0.05, algorithm="csj", metric="l1")
+        check_equivalence(uniform_2d, 0.05, result, metric="l1").raise_if_failed()
+
+    def test_g_respected(self, clustered_2d):
+        result = similarity_join(clustered_2d, 0.05, algorithm="csj", g=3)
+        assert result.g == 3
+
+    def test_custom_sink(self, uniform_2d):
+        from repro.core.results import CountingSink
+
+        sink = CountingSink(id_width=3)
+        result = similarity_join(uniform_2d, 0.05, algorithm="ssj", sink=sink)
+        assert result.links == []
+        assert result.stats is sink.stats
+
+
+class TestSpatialJoinDatasets:
+    def test_compact_and_standard(self, rng):
+        centers = rng.random((4, 2))
+        a = np.clip(centers[rng.integers(0, 4, 200)] + rng.normal(scale=0.01, size=(200, 2)), 0, 1)
+        b = np.clip(centers[rng.integers(0, 4, 250)] + rng.normal(scale=0.01, size=(250, 2)), 0, 1)
+        from repro.core.bruteforce import brute_force_cross_links
+
+        gt = brute_force_cross_links(a, b, 0.05)
+        compact = spatial_join_datasets(a, b, 0.05, compact=True)
+        standard = spatial_join_datasets(a, b, 0.05, compact=False)
+        assert compact.expanded_cross_links() == gt
+        assert standard.expanded_cross_links() == gt
+        assert compact.output_bytes <= standard.output_bytes

@@ -1,0 +1,92 @@
+"""Unit tests for repro.geometry.ball."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.ball import Ball
+from repro.geometry.metrics import get_metric
+
+
+class TestConstruction:
+    def test_basic(self):
+        ball = Ball([0, 0], 2.0)
+        assert ball.radius == 2.0
+        assert ball.dim == 2
+        assert ball.diameter() == 4.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Ball([0, 0], -0.1)
+
+    def test_of_points_anchors_first(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 0.0]])
+        ball = Ball.of_points(pts)
+        assert ball.center.tolist() == [0.0, 0.0]
+        assert ball.radius == pytest.approx(5.0)
+
+    def test_of_single_point(self):
+        ball = Ball.of_points([[1.0, 2.0]])
+        assert ball.radius == 0.0
+
+    def test_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ball.of_points(np.empty((0, 2)))
+
+    def test_center_copied(self):
+        c = np.array([0.0, 0.0])
+        ball = Ball(c, 1.0)
+        c[0] = 9.0
+        assert ball.center[0] == 0.0
+
+
+class TestGeometry:
+    def test_contains_point(self):
+        ball = Ball([0, 0], 1.0)
+        assert ball.contains_point([0.5, 0.5])
+        assert ball.contains_point([1.0, 0.0])
+        assert not ball.contains_point([1.0, 1.0])
+
+    def test_min_max_dist(self):
+        a = Ball([0, 0], 1.0)
+        b = Ball([10, 0], 2.0)
+        assert a.min_dist(b) == pytest.approx(7.0)
+        assert a.max_dist(b) == pytest.approx(13.0)
+
+    def test_min_dist_overlapping_is_zero(self):
+        assert Ball([0, 0], 2.0).min_dist(Ball([1, 0], 2.0)) == 0.0
+
+    def test_union_diameter_dominates(self):
+        a = Ball([0, 0], 3.0)
+        b = Ball([1, 0], 0.1)
+        # The big ball's own diameter dominates the union bound.
+        assert a.union_diameter(b) == pytest.approx(6.0)
+
+    def test_union_diameter_bounds_observed(self, rng, metric):
+        pts_a = rng.random((20, 2))
+        pts_b = rng.random((20, 2)) + 0.5
+        a = Ball.of_points(pts_a, metric)
+        b = Ball.of_points(pts_b, metric)
+        bound = a.union_diameter(b, metric)
+        observed = metric.self_pairwise(np.vstack([pts_a, pts_b])).max()
+        assert observed <= bound + 1e-12
+
+    def test_point_distances(self):
+        ball = Ball([0, 0], 1.0)
+        assert ball.min_dist_point([3, 0]) == pytest.approx(2.0)
+        assert ball.min_dist_point([0.5, 0]) == 0.0
+        assert ball.max_dist_point([3, 0]) == pytest.approx(4.0)
+
+    def test_expanded_to(self):
+        ball = Ball([0, 0], 1.0)
+        bigger = ball.expanded_to([5, 0])
+        assert bigger.radius == pytest.approx(5.0)
+        unchanged = ball.expanded_to([0.5, 0])
+        assert unchanged.radius == 1.0
+
+    def test_metric_aware(self):
+        a = Ball([0, 0], 1.0)
+        b = Ball([3, 4], 1.0)
+        assert a.min_dist(b, get_metric("l1")) == pytest.approx(5.0)
+
+    def test_repr(self):
+        assert "radius=1" in repr(Ball([0, 0], 1.0))

@@ -1,0 +1,192 @@
+"""Unit tests for the Section II clustering baselines (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.birch import BirchTree, ClusteringFeature
+from repro.baselines.hierarchical import (
+    single_linkage_components,
+    single_linkage_from_links,
+)
+from repro.baselines.kmeans import kmeans, kmedoids
+from repro.baselines.postprocess import cluster_violations, evaluate_postprocessing
+from repro.core.bruteforce import brute_force_links
+
+
+@pytest.fixture
+def two_blobs(rng):
+    a = rng.normal(loc=0.2, scale=0.02, size=(60, 2))
+    b = rng.normal(loc=0.8, scale=0.02, size=(60, 2))
+    return np.clip(np.vstack([a, b]), 0, 1)
+
+
+class TestKMeans:
+    def test_separates_blobs(self, two_blobs):
+        labels, centers = kmeans(two_blobs, 2, seed=0)
+        assert len(set(labels[:60].tolist())) == 1
+        assert len(set(labels[60:].tolist())) == 1
+        assert labels[0] != labels[100]
+        assert centers.shape == (2, 2)
+
+    def test_k_one(self, two_blobs):
+        labels, centers = kmeans(two_blobs, 1)
+        assert set(labels.tolist()) == {0}
+        assert np.allclose(centers[0], two_blobs.mean(axis=0), atol=1e-6)
+
+    def test_k_equals_n(self, rng):
+        pts = rng.random((5, 2))
+        labels, _ = kmeans(pts, 5, seed=3)
+        assert len(set(labels.tolist())) >= 3  # near-singleton clusters
+
+    def test_duplicate_points(self):
+        pts = np.tile([[0.5, 0.5]], (20, 1))
+        labels, _ = kmeans(pts, 3, seed=1)
+        assert len(labels) == 20  # no crash on zero total distance
+
+    def test_validation(self, two_blobs):
+        with pytest.raises(ValueError):
+            kmeans(two_blobs, 0)
+        with pytest.raises(ValueError):
+            kmeans(two_blobs, 2, max_iter=0)
+
+    def test_deterministic_for_seed(self, two_blobs):
+        a, _ = kmeans(two_blobs, 2, seed=5)
+        b, _ = kmeans(two_blobs, 2, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestKMedoids:
+    def test_separates_blobs(self, two_blobs):
+        labels, medoids = kmedoids(two_blobs, 2, seed=0)
+        assert labels[0] != labels[100]
+        assert len(medoids) == 2
+        # Medoids are actual data points.
+        assert all(0 <= m < len(two_blobs) for m in medoids)
+
+    def test_validation(self, two_blobs):
+        with pytest.raises(ValueError):
+            kmedoids(two_blobs, 0)
+
+
+class TestSingleLinkage:
+    def test_from_links_matches_direct(self, two_blobs):
+        eps = 0.1
+        links = brute_force_links(two_blobs, eps)
+        via_links = single_linkage_from_links(links, len(two_blobs))
+        direct = single_linkage_components(two_blobs, eps)
+
+        def partition(labels):
+            groups = {}
+            for i, label in enumerate(labels.tolist()):
+                groups.setdefault(label, set()).add(i)
+            return frozenset(frozenset(v) for v in groups.values())
+
+        assert partition(via_links) == partition(direct)
+
+    def test_two_blobs_two_clusters(self, two_blobs):
+        labels = single_linkage_components(two_blobs, 0.1)
+        assert labels[0] == labels[30]
+        assert labels[0] != labels[90]
+
+    def test_chaining_violates_range(self, rng):
+        """The classic single-linkage failure the paper alludes to: a
+        chain of close points forms one cluster whose ends are far apart."""
+        chain = np.stack([np.linspace(0, 1, 50), np.zeros(50)], axis=1)
+        eps = 0.05
+        labels = single_linkage_components(chain, eps)
+        assert len(set(labels.tolist())) == 1  # all chained together
+        truth = brute_force_links(chain, eps)
+        violating, _ = cluster_violations(chain, labels, eps, truth)
+        assert violating > 0  # ends of the chain are not within eps
+
+    def test_validation(self, two_blobs):
+        with pytest.raises(ValueError):
+            single_linkage_components(two_blobs, 0.0)
+
+
+class TestClusteringFeature:
+    def test_of_point(self):
+        cf = ClusteringFeature.of_point([3.0, 4.0])
+        assert cf.n == 1
+        assert cf.radius() == pytest.approx(0.0)
+        assert cf.centroid.tolist() == [3.0, 4.0]
+
+    def test_merge(self):
+        a = ClusteringFeature.of_point([0.0, 0.0])
+        b = ClusteringFeature.of_point([2.0, 0.0])
+        merged = a.merged(b)
+        assert merged.n == 2
+        assert merged.centroid.tolist() == [1.0, 0.0]
+        assert merged.radius() == pytest.approx(1.0)
+
+    def test_absorb_into_empty(self):
+        total = ClusteringFeature()
+        total.absorb(ClusteringFeature.of_point([1.0, 1.0]))
+        assert total.n == 1
+
+
+class TestBirch:
+    def test_partitions_all_points(self, two_blobs):
+        tree = BirchTree(2, threshold=0.05).fit(two_blobs)
+        labels = tree.labels()
+        assert (labels >= 0).all()
+        clusters = tree.leaf_clusters()
+        ids = sorted(i for c in clusters for i in c)
+        assert ids == list(range(len(two_blobs)))
+
+    def test_threshold_bounds_cf_radius(self, two_blobs):
+        threshold = 0.04
+        tree = BirchTree(2, threshold=threshold).fit(two_blobs)
+        for members in tree.leaf_clusters():
+            pts = two_blobs[members]
+            centroid = pts.mean(axis=0)
+            rms = np.sqrt(((pts - centroid) ** 2).sum(axis=1).mean())
+            assert rms < threshold + 1e-9
+
+    def test_blob_separation(self, two_blobs):
+        tree = BirchTree(2, threshold=0.1, branching=4).fit(two_blobs)
+        labels = tree.labels()
+        # No micro-cluster spans both blobs.
+        for members in tree.leaf_clusters():
+            sides = {0 if i < 60 else 1 for i in members}
+            assert len(sides) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BirchTree(2, threshold=0.0)
+        with pytest.raises(ValueError):
+            BirchTree(2, threshold=0.1, branching=1)
+
+
+class TestPostProcessing:
+    def test_section_ii_c_claims(self, rng):
+        """The paper's argument, quantified: every clustering baseline
+        either implies non-qualifying pairs or drops qualifying ones,
+        while CSJ does neither."""
+        centers = rng.random((5, 2))
+        pts = np.clip(
+            centers[rng.integers(0, 5, 400)] + rng.normal(scale=0.015, size=(400, 2)),
+            0,
+            1,
+        )
+        eps = 0.03
+        rows = evaluate_postprocessing(pts, eps, seed=1)
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["csj(10)"]["violating_pairs"] == 0
+        assert by_method["csj(10)"]["missing_links"] == 0
+        for method in ("kmeans", "kmedoids", "single-linkage", "birch"):
+            row = by_method[method]
+            assert row["violating_pairs"] + row["missing_links"] > 0, method
+
+    def test_unknown_method(self, two_blobs):
+        with pytest.raises(ValueError, match="unknown method"):
+            evaluate_postprocessing(two_blobs, 0.1, methods=("dbscan",))
+
+    def test_violation_counts_consistent(self, two_blobs):
+        eps = 0.1
+        truth = brute_force_links(two_blobs, eps)
+        labels = np.zeros(len(two_blobs), dtype=np.intp)  # everything together
+        violating, missing = cluster_violations(two_blobs, labels, eps, truth)
+        n = len(two_blobs)
+        assert violating + len(truth) == n * (n - 1) // 2
+        assert missing == 0

@@ -1,0 +1,100 @@
+"""Unit tests for the ground-truth joins (repro.core.bruteforce)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_cross_links, brute_force_links, count_links
+
+
+class TestBruteForceLinks:
+    def test_simple(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        assert brute_force_links(pts, 0.2) == {(0, 1)}
+
+    def test_strict_inequality(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert brute_force_links(pts, 1.0) == set()
+        assert brute_force_links(pts, 1.0 + 1e-9) == {(0, 1)}
+
+    def test_blocking_matches_unblocked(self, rng):
+        pts = rng.random((300, 2))
+        assert brute_force_links(pts, 0.1, block=64) == brute_force_links(
+            pts, 0.1, block=1024
+        )
+
+    def test_metric_sensitive(self, rng):
+        pts = rng.random((100, 2))
+        l2 = brute_force_links(pts, 0.2, metric="l2")
+        l1 = brute_force_links(pts, 0.2, metric="l1")
+        linf = brute_force_links(pts, 0.2, metric="linf")
+        # L1 ball is inside L2 ball is inside Linf ball.
+        assert l1 <= l2 <= linf
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            brute_force_links(np.zeros((2, 2)), 0.0)
+
+    def test_pairs_are_ordered(self, rng):
+        for i, j in brute_force_links(rng.random((50, 2)), 0.3):
+            assert i < j
+
+
+class TestCrossLinks:
+    def test_simple(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.05, 0.0], [1.0, 1.0]])
+        assert brute_force_cross_links(a, b, 0.1) == {(0, 0)}
+
+    def test_positional_ids(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[1.0, 1.0], [0.0, 0.0]])
+        assert brute_force_cross_links(a, b, 0.01) == {(0, 1), (1, 0)}
+
+    def test_blocked(self, rng):
+        a, b = rng.random((150, 2)), rng.random((170, 2))
+        assert brute_force_cross_links(a, b, 0.1, block=32) == brute_force_cross_links(
+            a, b, 0.1
+        )
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            brute_force_cross_links(np.zeros((1, 2)), np.zeros((1, 2)), -1.0)
+
+
+class TestCountLinks:
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((400, 2))
+        for eps in (0.01, 0.1, 0.5):
+            assert count_links(pts, eps) == len(brute_force_links(pts, eps))
+
+    def test_strictness_on_exact_distances(self):
+        """Grid points realise many exact distances — the k-d-tree count
+        must agree with the strict brute force."""
+        side = 10
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        pts = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+        for eps in (1.0, np.sqrt(2.0), 2.0):
+            assert count_links(pts, eps) == len(brute_force_links(pts, eps))
+
+    @pytest.mark.parametrize("metric", ["l1", "linf", 3])
+    def test_minkowski_metrics(self, rng, metric):
+        pts = rng.random((200, 2))
+        assert count_links(pts, 0.15, metric) == len(
+            brute_force_links(pts, 0.15, metric)
+        )
+
+    def test_generic_metric_fallback(self, rng):
+        """A metric without a cKDTree mapping uses the blocked counter."""
+        from repro.geometry.metrics import Minkowski
+
+        class Odd(Minkowski):
+            def __init__(self):
+                super().__init__(2.0)
+                self.name = "custom-metric"
+
+        pts = rng.random((150, 2))
+        assert count_links(pts, 0.2, Odd()) == len(brute_force_links(pts, 0.2))
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            count_links(np.zeros((2, 2)), 0.0)

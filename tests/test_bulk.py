@@ -1,0 +1,115 @@
+"""Unit tests for bulk loading (repro.index.bulk)."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load, hilbert_pack, omt_pack, str_pack
+from repro.index.mtree import MTree
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+PACKERS = [str_pack, hilbert_pack, omt_pack]
+PACKER_IDS = ["str", "hilbert", "omt"]
+
+
+@pytest.mark.parametrize("packer", PACKERS, ids=PACKER_IDS)
+class TestPackers:
+    def test_packs_validate(self, rng, packer):
+        pts = rng.random((777, 2))
+        tree = RTree.from_packed_root(pts, packer(pts, 16, 16), max_entries=16)
+        tree.validate()
+
+    def test_all_points_present(self, rng, packer):
+        pts = rng.random((250, 3))
+        root = packer(pts, 16, 16)
+        tree = RTree.from_packed_root(pts, root, max_entries=16)
+        ids = sorted(int(i) for leaf in tree.leaves() for i in leaf.entry_ids)
+        assert ids == list(range(250))
+
+    def test_small_inputs(self, rng, packer):
+        for n in (1, 2, 15, 16, 17):
+            pts = rng.random((n, 2))
+            tree = RTree.from_packed_root(pts, packer(pts, 16, 16), max_entries=16)
+            tree.validate()
+            assert tree.root.subtree_count() == n
+
+    def test_awkward_sizes(self, rng, packer):
+        # Sizes straddling capacity boundaries, the classic underfill trap.
+        for n in (17, 33, 65, 257):
+            pts = rng.random((n, 2))
+            tree = RTree.from_packed_root(pts, packer(pts, 16, 16), max_entries=16)
+            tree.validate()
+
+    def test_range_query_after_pack(self, rng, packer):
+        pts = rng.random((400, 2))
+        tree = RTree.from_packed_root(pts, packer(pts, 16, 16), max_entries=16)
+        center = np.array([0.3, 0.3])
+        expected = np.nonzero(np.linalg.norm(pts - center, axis=1) < 0.2)[0]
+        assert tree.range_query(center, 0.2).tolist() == expected.tolist()
+
+    def test_dynamic_insert_after_pack(self, rng, packer):
+        pts = rng.random((130, 2))
+        tree = RTree.from_packed_root(pts[:100], packer(pts[:100], 8, 8), max_entries=8)
+        tree.points = pts
+        for pid in range(100, 130):
+            tree.insert(pid)
+        tree.validate()
+        assert tree.root.subtree_count() == 130
+
+
+class TestBulkLoad:
+    def test_default(self, rng):
+        tree = bulk_load(rng.random((300, 2)))
+        assert isinstance(tree, RStarTree)
+        tree.validate()
+
+    @pytest.mark.parametrize("method", ["str", "hilbert", "omt"])
+    def test_methods(self, rng, method):
+        tree = bulk_load(rng.random((300, 2)), method=method, max_entries=16)
+        tree.validate()
+
+    def test_tree_class_by_name(self, rng):
+        tree = bulk_load(rng.random((100, 2)), tree_class="rtree")
+        assert isinstance(tree, RTree)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="unknown bulk method"):
+            bulk_load(rng.random((10, 2)), method="sorted")
+
+    def test_mtree_rejected(self, rng):
+        with pytest.raises(TypeError, match="R-tree family"):
+            bulk_load(rng.random((10, 2)), tree_class=MTree)
+
+    def test_morton_curve_variant(self, rng):
+        tree = bulk_load(
+            rng.random((200, 2)), method="hilbert", curve="morton", max_entries=16
+        )
+        tree.validate()
+
+    def test_unknown_curve(self, rng):
+        with pytest.raises(ValueError, match="unknown curve"):
+            bulk_load(rng.random((10, 2)), method="hilbert", curve="peano")
+
+    def test_str_leaves_tile_space(self, rng):
+        """STR leaves on uniform data should have small mutual overlap."""
+        pts = rng.random((1024, 2))
+        tree = bulk_load(pts, method="str", max_entries=32)
+        leaves = list(tree.leaves())
+        overlap = sum(
+            leaves[i].mbr.overlap_area(leaves[j].mbr)
+            for i in range(len(leaves))
+            for j in range(i + 1, len(leaves))
+        )
+        assert overlap < 0.05  # of a unit of total area
+
+    def test_packed_trees_beat_dynamic_on_build_time(self, rng):
+        import time
+
+        pts = rng.random((2000, 2))
+        t0 = time.perf_counter()
+        bulk_load(pts, method="str", max_entries=32)
+        bulk_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        RStarTree(pts, max_entries=32)
+        dyn_time = time.perf_counter() - t0
+        assert bulk_time < dyn_time

@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_join_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--eps", "0.1"])
+
+    def test_join_args(self):
+        args = build_parser().parse_args(
+            ["join", "--dataset", "uniform", "--eps", "0.1", "-g", "5"]
+        )
+        assert args.dataset == "uniform"
+        assert args.eps == 0.1
+        assert args.g == 5
+
+    def test_experiment_names_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "8 links" in out
+        assert "50%" in out
+        assert "True" in out  # lossless check
+
+
+class TestJoinCommand:
+    def test_generated_dataset(self, capsys):
+        code = main(
+            ["join", "--dataset", "uniform", "-n", "300", "--eps", "0.05",
+             "--algorithm", "csj", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "groups emitted" in out
+        assert "OK" in out
+
+    def test_input_file(self, tmp_path, capsys):
+        path = tmp_path / "pts.txt"
+        rng = np.random.default_rng(0)
+        np.savetxt(path, rng.random((100, 2)))
+        code = main(["join", "--input", str(path), "--eps", "0.1"])
+        assert code == 0
+
+    def test_output_file(self, tmp_path, capsys):
+        out_path = tmp_path / "result.txt"
+        code = main(
+            ["join", "--dataset", "uniform", "-n", "200", "--eps", "0.1",
+             "--algorithm", "ncsj", "--output", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.io.writer import read_output
+
+        links, groups, _ = read_output(str(out_path))
+        assert links or groups
+
+    def test_ssj_algorithm(self, capsys):
+        assert main(
+            ["join", "--dataset", "uniform", "-n", "200", "--eps", "0.05",
+             "--algorithm", "ssj"]
+        ) == 0
+
+    def test_egrid_algorithm(self, capsys):
+        assert main(
+            ["join", "--dataset", "uniform", "-n", "200", "--eps", "0.05",
+             "--algorithm", "egrid-csj", "--verify"]
+        ) == 0
+
+
+class TestClusterCommand:
+    def test_cluster_output(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "uniform", "-n", "400", "--eps", "0.08"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "largest clusters" in out
+
+    def test_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--eps", "0.1"])
+
+
+class TestExperimentCommand:
+    def test_fig6_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert main(["experiment", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out
+        assert "csj" in out
+
+    def test_exp4_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert main(["experiment", "exp4"]) == 0
+        out = capsys.readouterr().out
+        assert "mtree" in out

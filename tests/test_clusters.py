@@ -1,0 +1,103 @@
+"""Unit tests for cluster extraction from compact output (repro.core.clusters)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import UnionFind, component_sizes, connected_components
+from repro.core.csj import csj
+from repro.core.results import JoinResult
+from repro.core.ssj import ssj
+from repro.index.bulk import bulk_load
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        assert uf.connected(0, 1)
+        assert not uf.connected(1, 3)
+        uf.union(1, 3)
+        assert uf.connected(0, 4)
+
+    def test_idempotent_union(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(1, 0)
+        assert uf.connected(0, 1)
+
+    def test_labels(self):
+        uf = UnionFind(4)
+        uf.union(0, 2)
+        labels = uf.labels()
+        assert labels[0] == labels[2]
+        assert labels[1] != labels[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty(self):
+        assert UnionFind(0).labels().shape == (0,)
+
+
+class TestConnectedComponents:
+    def test_links_only(self):
+        result = JoinResult(eps=1, algorithm="x", links=[(0, 1), (1, 2)])
+        labels = connected_components(result, 4)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+
+    def test_groups_are_hyperedges(self):
+        result = JoinResult(eps=1, algorithm="x", groups=[(0, 1, 2), (2, 3)])
+        labels = connected_components(result, 5)
+        assert len(set(labels[:4].tolist())) == 1
+        assert labels[4] != labels[0]
+
+    def test_group_pairs(self):
+        result = JoinResult(eps=1, algorithm="x", group_pairs=[((0, 1), (2,))])
+        labels = connected_components(result, 3)
+        assert len(set(labels.tolist())) == 1
+
+    def test_labels_consecutive(self):
+        result = JoinResult(eps=1, algorithm="x", links=[(2, 3)])
+        labels = connected_components(result, 4)
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_component_sizes(self):
+        result = JoinResult(eps=1, algorithm="x", links=[(0, 1)])
+        sizes = component_sizes(connected_components(result, 3))
+        assert sorted(sizes.tolist()) == [1, 2]
+
+    def test_compact_and_standard_agree(self, clustered_2d):
+        """The whole point: clustering the compact output gives the same
+        components as clustering the expanded standard output."""
+        eps = 0.05
+        tree = bulk_load(clustered_2d, max_entries=16)
+        standard = ssj(tree, eps)
+        compact = csj(tree, eps, g=10)
+        labels_standard = connected_components(standard, len(clustered_2d))
+        labels_compact = connected_components(compact, len(clustered_2d))
+        # Same partition (labels may be permuted): compare co-membership
+        # via canonical relabeling by first occurrence — both results use
+        # first-appearance numbering, and iteration order may differ, so
+        # compare partitions as frozensets.
+        def partition(labels):
+            groups: dict[int, set[int]] = {}
+            for i, label in enumerate(labels.tolist()):
+                groups.setdefault(label, set()).add(i)
+            return frozenset(frozenset(v) for v in groups.values())
+
+        assert partition(labels_standard) == partition(labels_compact)
+
+    def test_matches_geometric_truth(self, rng):
+        """Two well-separated blobs -> exactly two non-trivial clusters."""
+        blob_a = rng.random((100, 2)) * 0.1
+        blob_b = rng.random((100, 2)) * 0.1 + 0.8
+        pts = np.vstack([blob_a, blob_b])
+        tree = bulk_load(pts, max_entries=16)
+        result = csj(tree, 0.2, g=10)
+        labels = connected_components(result, len(pts))
+        assert len(set(labels[:100].tolist())) == 1
+        assert len(set(labels[100:].tolist())) == 1
+        assert labels[0] != labels[150]

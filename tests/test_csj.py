@@ -1,0 +1,186 @@
+"""Unit tests for the compact joins N-CSJ and CSJ(g) (repro.core.csj).
+
+The key properties are the paper's Theorems 1 and 2: for any tree, metric
+and query range, the expanded compact output equals the brute-force link
+set — no link missing (completeness), no extra link implied (correctness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.csj import csj, ncsj
+from repro.core.results import CountingSink
+from repro.core.ssj import ssj
+from repro.core.verify import check_equivalence
+from repro.index.bulk import bulk_load
+from repro.index.mtree import MTree
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+class TestTheorems:
+    """Completeness + correctness across configurations."""
+
+    @pytest.mark.parametrize("eps", [0.01, 0.05, 0.2, 0.7])
+    def test_csj_lossless_uniform(self, uniform_2d, eps):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        result = csj(tree, eps, g=10)
+        check_equivalence(uniform_2d, eps, result).raise_if_failed()
+
+    @pytest.mark.parametrize("eps", [0.01, 0.05, 0.2])
+    def test_ncsj_lossless_clustered(self, clustered_2d, eps):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        result = ncsj(tree, eps)
+        check_equivalence(clustered_2d, eps, result).raise_if_failed()
+
+    @pytest.mark.parametrize("g", [0, 1, 2, 5, 10, 100])
+    def test_all_window_sizes_lossless(self, clustered_2d, g):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        result = csj(tree, 0.05, g=g)
+        check_equivalence(clustered_2d, 0.05, result).raise_if_failed()
+
+    @pytest.mark.parametrize("tree_cls", [RTree, RStarTree, MTree])
+    def test_index_independent(self, clustered_2d, tree_cls):
+        tree = tree_cls(clustered_2d, max_entries=16)
+        result = csj(tree, 0.05, g=10)
+        check_equivalence(clustered_2d, 0.05, result).raise_if_failed()
+
+    def test_metric_parameterised(self, clustered_2d, metric):
+        tree = bulk_load(clustered_2d, metric=metric, max_entries=16)
+        result = csj(tree, 0.06, g=10)
+        check_equivalence(clustered_2d, 0.06, result, metric=metric).raise_if_failed()
+
+    def test_three_dimensional(self, uniform_3d):
+        tree = bulk_load(uniform_3d, max_entries=16)
+        result = csj(tree, 0.2, g=10)
+        check_equivalence(uniform_3d, 0.2, result).raise_if_failed()
+
+    def test_exact_distances_grid(self):
+        """Integer lattice: many distances equal eps exactly; strictness
+        must agree with brute force everywhere."""
+        side = 8
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        pts = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+        tree = bulk_load(pts, max_entries=8)
+        for eps in (1.0, np.sqrt(2.0), 2.0, 2.5):
+            result = csj(tree, eps, g=10)
+            check_equivalence(pts, eps, result).raise_if_failed()
+
+
+class TestCompaction:
+    def test_csj_output_never_larger_than_ncsj(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        for eps in (0.02, 0.05, 0.1):
+            bytes_ncsj = ncsj(tree, eps).output_bytes
+            bytes_csj = csj(tree, eps, g=10).output_bytes
+            assert bytes_csj <= bytes_ncsj
+
+    def test_ncsj_output_never_larger_than_ssj(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        for eps in (0.02, 0.05, 0.1, 0.3):
+            bytes_ssj = ssj(tree, eps).output_bytes
+            bytes_ncsj = ncsj(tree, eps).output_bytes
+            assert bytes_ncsj <= bytes_ssj
+
+    def test_explosion_controlled(self, clustered_2d):
+        """On clustered data the compact output is much smaller."""
+        tree = bulk_load(clustered_2d, max_entries=16)
+        eps = 0.08
+        bytes_ssj = ssj(tree, eps).output_bytes
+        bytes_csj = csj(tree, eps, g=10).output_bytes
+        assert bytes_csj < bytes_ssj / 3
+
+    def test_early_stop_fires_at_large_range(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        result = csj(tree, 0.5, g=10)
+        assert result.stats.early_stops > 0
+
+    def test_no_early_stop_at_tiny_range(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        result = csj(tree, 1e-6, g=10)
+        assert result.stats.early_stops == 0
+        assert result.output_bytes == 0
+
+    def test_whole_dataset_one_group(self):
+        """Range beyond the data diameter: a single root group."""
+        rng = np.random.default_rng(0)
+        pts = rng.random((100, 2)) * 0.1
+        tree = bulk_load(pts, max_entries=16)
+        result = csj(tree, 1.0, g=10)
+        assert result.stats.groups_emitted == 1
+        assert result.groups[0] == tuple(range(100))
+        # One early stop at the root, no distance computations at all.
+        assert result.stats.distance_computations == 0
+
+    def test_groups_satisfy_range_internally(self, clustered_2d):
+        """Every emitted group's pairwise distances are < eps (Thm 2
+        checked directly on the point level)."""
+        tree = bulk_load(clustered_2d, max_entries=16)
+        eps = 0.05
+        result = csj(tree, eps, g=10)
+        for ids in result.groups:
+            pts = clustered_2d[list(ids)]
+            dists = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+            assert dists.max() < eps
+
+
+class TestLabelsAndStats:
+    def test_labels(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        assert csj(tree, 0.05, g=10).algorithm == "csj(10)"
+        assert csj(tree, 0.05, g=0).algorithm == "ncsj"
+        assert ncsj(tree, 0.05).algorithm == "ncsj"
+
+    def test_g_recorded(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        assert csj(tree, 0.05, g=7).g == 7
+
+    def test_merge_stats_only_for_positive_g(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        assert ncsj(tree, 0.05).stats.merge_attempts == 0
+        assert csj(tree, 0.05, g=10).stats.merge_attempts > 0
+
+    def test_validation(self, uniform_2d):
+        tree = bulk_load(uniform_2d)
+        with pytest.raises(ValueError):
+            csj(tree, -1.0)
+        with pytest.raises(ValueError):
+            csj(tree, 0.1, g=-1)
+
+    def test_empty_and_single(self):
+        assert csj(RTree(np.empty((0, 2))), 0.1).groups == []
+        assert csj(RTree(np.array([[0.0, 0.0]])), 0.1).groups == []
+
+    def test_counting_sink(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        collected = csj(tree, 0.05, g=10)
+        counted = csj(tree, 0.05, g=10, sink=CountingSink(id_width=3))
+        assert counted.stats.bytes_written == collected.stats.bytes_written
+        assert counted.groups == []
+
+    def test_deterministic(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        a = csj(tree, 0.05, g=10)
+        b = csj(tree, 0.05, g=10)
+        assert a.groups == b.groups and a.links == b.links
+
+
+class TestDynamicTrees:
+    """The joins must work on insertion-built (non-packed) trees too."""
+
+    @pytest.mark.parametrize("tree_cls", [RTree, RStarTree])
+    def test_dynamic_lossless(self, clustered_2d, tree_cls):
+        tree = tree_cls(clustered_2d[:300], max_entries=8)
+        result = csj(tree, 0.05, g=10)
+        check_equivalence(clustered_2d[:300], 0.05, result).raise_if_failed()
+
+    def test_after_deletions(self, clustered_2d):
+        """Join on a tree that has seen deletions: deleted points must not
+        appear in any output."""
+        tree = RTree(clustered_2d[:200], max_entries=8)
+        for pid in range(0, 200, 4):
+            tree.delete(pid)
+        result = csj(tree, 0.05, g=10)
+        deleted = set(range(0, 200, 4))
+        for i, j in result.expanded_links():
+            assert i not in deleted and j not in deleted

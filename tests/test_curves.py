@@ -1,0 +1,113 @@
+"""Unit tests for repro.geometry.curves (Hilbert and Morton orders)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.curves import (
+    hilbert_index,
+    hilbert_sort,
+    morton_index,
+    morton_sort,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_range(self, rng):
+        grid = quantize(rng.random((100, 2)), bits=8)
+        assert grid.min() >= 0
+        assert grid.max() <= 255
+
+    def test_corners_map_to_extremes(self):
+        grid = quantize(np.array([[0.0, 0.0], [1.0, 1.0]]), bits=4)
+        assert grid[0].tolist() == [0, 0]
+        assert grid[1].tolist() == [15, 15]
+
+    def test_degenerate_axis(self):
+        grid = quantize(np.array([[0.0, 5.0], [1.0, 5.0]]), bits=4)
+        assert grid[:, 1].tolist() == [0, 0]
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((2, 2)), bits=0)
+        with pytest.raises(ValueError):
+            quantize(np.zeros((2, 2)), bits=32)
+
+
+class TestMorton:
+    def test_2d_order_of_unit_square_corners(self):
+        # With 1 bit per axis, Z-order visits (0,0) (0,1) (1,0) (1,1).
+        coords = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint64)
+        keys = morton_index(coords, bits=1)
+        assert keys.tolist() == [0, 1, 2, 3]
+
+    def test_keys_unique_for_distinct_cells(self, rng):
+        coords = rng.integers(0, 1 << 10, size=(200, 2)).astype(np.uint64)
+        keys = morton_index(coords, bits=10)
+        distinct = {tuple(c) for c in coords.tolist()}
+        assert len(set(keys.tolist())) == len(distinct)
+
+    def test_key_width_guard(self):
+        with pytest.raises(ValueError):
+            morton_index(np.zeros((1, 4), dtype=np.uint64), bits=16)
+
+
+class TestHilbert:
+    def test_first_order_curve_2d(self):
+        # The order-1 Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+        coords = np.array([[0, 0], [0, 1], [1, 1], [1, 0]], dtype=np.uint64)
+        keys = hilbert_index(coords, bits=1)
+        assert sorted(keys.tolist()) == [0, 1, 2, 3]
+        assert keys.tolist() == [0, 1, 2, 3]
+
+    def test_bijective_on_grid(self):
+        side = 8
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.uint64)
+        keys = hilbert_index(coords, bits=3)
+        assert sorted(keys.tolist()) == list(range(side * side))
+
+    def test_adjacency(self):
+        """Consecutive Hilbert keys differ by one grid step (the defining
+        locality property; Morton does not have it)."""
+        side = 16
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.uint64)
+        keys = hilbert_index(coords, bits=4)
+        by_key = coords[np.argsort(keys)]
+        steps = np.abs(np.diff(by_key.astype(int), axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_3d_bijective(self):
+        side = 4
+        grid = np.stack(
+            np.meshgrid(*[np.arange(side)] * 3, indexing="ij"), axis=-1
+        ).reshape(-1, 3).astype(np.uint64)
+        keys = hilbert_index(grid, bits=2)
+        assert sorted(keys.tolist()) == list(range(side**3))
+
+    def test_key_width_guard(self):
+        with pytest.raises(ValueError):
+            hilbert_index(np.zeros((1, 4), dtype=np.uint64), bits=16)
+
+
+class TestSorts:
+    def test_hilbert_sort_is_permutation(self, rng):
+        pts = rng.random((300, 2))
+        order = hilbert_sort(pts)
+        assert sorted(order.tolist()) == list(range(300))
+
+    def test_morton_sort_is_permutation(self, rng):
+        pts = rng.random((300, 3))
+        order = morton_sort(pts)
+        assert sorted(order.tolist()) == list(range(300))
+
+    def test_hilbert_sort_locality(self, rng):
+        """Average hop distance along the Hilbert order is much smaller
+        than between random consecutive points."""
+        pts = rng.random((1000, 2))
+        order = hilbert_sort(pts, bits=10)
+        sorted_pts = pts[order]
+        hop = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1).mean()
+        random_hop = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert hop < random_hop / 3

@@ -1,0 +1,180 @@
+"""Unit tests for the dataset generators (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    gaussian_clusters,
+    grid_points,
+    lb_county,
+    line_points,
+    load_dataset,
+    mg_county,
+    normalize_unit_box,
+    pacific_nw,
+    sierpinski_pyramid,
+    sierpinski_triangle,
+    uniform_points,
+)
+
+
+def in_unit_box(pts):
+    return pts.min() >= -1e-9 and pts.max() <= 1 + 1e-9
+
+
+class TestNormalize:
+    def test_unit_box(self, rng):
+        pts = rng.random((100, 2)) * 40 - 17
+        norm = normalize_unit_box(pts)
+        assert in_unit_box(norm)
+        assert norm.max() == pytest.approx(1.0)
+
+    def test_aspect_preserved(self):
+        pts = np.array([[0.0, 0.0], [10.0, 1.0]])
+        norm = normalize_unit_box(pts)
+        # Uniform scaling: the y-extent stays 1/10 of the x-extent.
+        assert norm[1, 1] == pytest.approx(0.1)
+
+    def test_anisotropic(self):
+        pts = np.array([[0.0, 0.0], [10.0, 1.0]])
+        norm = normalize_unit_box(pts, preserve_aspect=False)
+        assert norm[1].tolist() == [1.0, 1.0]
+
+    def test_degenerate_axis(self):
+        pts = np.array([[0.0, 5.0], [2.0, 5.0]])
+        norm = normalize_unit_box(pts)
+        assert in_unit_box(norm)
+
+    def test_empty(self):
+        assert normalize_unit_box(np.empty((0, 2))).shape == (0, 2)
+
+    def test_original_untouched(self, rng):
+        pts = rng.random((10, 2)) * 5
+        before = pts.copy()
+        normalize_unit_box(pts)
+        assert np.array_equal(pts, before)
+
+
+class TestSierpinski:
+    def test_shapes(self):
+        assert sierpinski_triangle(500).shape == (500, 2)
+        assert sierpinski_pyramid(500).shape == (500, 3)
+
+    def test_unit_box(self):
+        assert in_unit_box(sierpinski_pyramid(2000))
+
+    def test_deterministic(self):
+        a = sierpinski_pyramid(100, seed=5)
+        b = sierpinski_pyramid(100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        assert not np.array_equal(
+            sierpinski_pyramid(100, seed=1), sierpinski_pyramid(100, seed=2)
+        )
+
+    def test_fractal_holes(self):
+        """The central inverted triangle of the attractor is empty."""
+        pts = sierpinski_triangle(5000)
+        center = np.array([0.5, np.sqrt(3) / 6])
+        dists = np.linalg.norm(pts - center, axis=1)
+        assert dists.min() > 0.05
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            sierpinski_triangle(-1)
+
+    def test_zero_points(self):
+        assert sierpinski_pyramid(0).shape == (0, 3)
+
+
+class TestSynthetic:
+    def test_uniform(self):
+        pts = uniform_points(200, dim=3)
+        assert pts.shape == (200, 3)
+        assert in_unit_box(pts)
+
+    def test_gaussian_clusters_are_clustered(self):
+        pts = gaussian_clusters(2000, n_clusters=4, std=0.01)
+        # Clustered data has far more close pairs than uniform data.
+        from repro.core.bruteforce import count_links
+
+        clustered = count_links(pts, 0.02)
+        uniform = count_links(uniform_points(2000), 0.02)
+        assert clustered > uniform * 5
+
+    def test_gaussian_custom_centers(self):
+        centers = np.array([[0.5, 0.5]])
+        pts = gaussian_clusters(300, centers=centers, std=0.001)
+        assert np.linalg.norm(pts - centers[0], axis=1).max() < 0.05
+
+    def test_grid(self):
+        pts = grid_points(5, dim=2)
+        assert pts.shape == (25, 2)
+        assert len(np.unique(pts, axis=0)) == 25
+
+    def test_grid_jitter(self):
+        a = grid_points(4, jitter=0.0)
+        b = grid_points(4, jitter=0.01, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_line(self):
+        pts = line_points(5, spacing=2.0)
+        assert pts[:, 0].tolist() == [0, 2, 4, 6, 8]
+        assert (pts[:, 1] == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+        with pytest.raises(ValueError):
+            grid_points(0)
+        with pytest.raises(ValueError):
+            line_points(-2)
+        with pytest.raises(ValueError):
+            gaussian_clusters(-5)
+
+
+class TestCountyAndRoads:
+    @pytest.mark.parametrize("generator", [mg_county, lb_county, pacific_nw])
+    def test_basic_properties(self, generator):
+        pts = generator(3000, seed=0)
+        assert pts.shape == (3000, 2)
+        assert in_unit_box(pts)
+        assert np.array_equal(pts, generator(3000, seed=0))  # deterministic
+
+    @pytest.mark.parametrize("generator", [mg_county, lb_county, pacific_nw])
+    def test_locally_dense(self, generator):
+        """The simulated maps must be much denser locally than uniform —
+        that is the property driving the paper's output explosions."""
+        from repro.core.bruteforce import count_links
+
+        pts = generator(3000, seed=0)
+        uniform = uniform_points(3000, seed=1)
+        assert count_links(pts, 0.01) > count_links(uniform, 0.01) * 3
+
+    def test_default_sizes_match_paper(self):
+        # Default n mirrors the paper's dataset sizes.
+        import inspect
+
+        assert inspect.signature(mg_county).parameters["n"].default == 27_000
+        assert inspect.signature(lb_county).parameters["n"].default == 36_000
+
+    def test_pacific_nw_zero(self):
+        assert pacific_nw(0).shape == (0, 2)
+
+    def test_pacific_nw_validation(self):
+        with pytest.raises(ValueError):
+            pacific_nw(-1)
+
+
+class TestLoadDataset:
+    def test_by_name(self):
+        pts = load_dataset("sierpinski3d", 100)
+        assert pts.shape == (100, 3)
+
+    def test_case_insensitive(self):
+        assert load_dataset("MG_County", 50).shape == (50, 2)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mars_craters", 10)

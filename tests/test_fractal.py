@@ -1,0 +1,65 @@
+"""Unit tests for fractal dimension estimation (repro.stats.fractal)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sierpinski_triangle, uniform_points
+from repro.stats.fractal import correlation_dimension, correlation_integral
+
+
+class TestCorrelationIntegral:
+    def test_monotone_in_radius(self, rng):
+        pts = rng.random((500, 2))
+        counts = correlation_integral(pts, [0.01, 0.05, 0.2])
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_matches_count_links(self, rng):
+        from repro.core.bruteforce import count_links
+
+        pts = rng.random((300, 2))
+        counts = correlation_integral(pts, [0.1])
+        assert counts[0] == count_links(pts, 0.1)
+
+
+class TestCorrelationDimension:
+    def test_line_has_dimension_one(self, rng):
+        line = np.stack([rng.random(4000), np.zeros(4000)], axis=1)
+        est = correlation_dimension(line)
+        assert est.dimension == pytest.approx(1.0, abs=0.15)
+
+    def test_uniform_square_has_dimension_two(self):
+        pts = uniform_points(5000, seed=1)
+        est = correlation_dimension(pts, r_min=2.0**-7, r_max=2.0**-4)
+        assert est.dimension == pytest.approx(2.0, abs=0.25)
+
+    def test_sierpinski_triangle_dimension(self):
+        """D2 of the Sierpinski triangle is log 3 / log 2 ~ 1.585."""
+        pts = sierpinski_triangle(8000, seed=0)
+        est = correlation_dimension(pts, r_min=2.0**-7, r_max=2.0**-4)
+        assert est.dimension == pytest.approx(np.log(3) / np.log(2), abs=0.2)
+
+    def test_predicted_pairs_extrapolates(self, rng):
+        pts = uniform_points(2000, seed=2)
+        est = correlation_dimension(pts, r_min=2.0**-7, r_max=2.0**-4)
+        from repro.core.bruteforce import count_links
+
+        predicted = est.predicted_pairs(2.0**-3, reference_index=len(est.radii) - 1)
+        actual = count_links(pts, 2.0**-3)
+        assert predicted == pytest.approx(actual, rel=0.5)
+
+    def test_validation(self, rng):
+        pts = rng.random((100, 2))
+        with pytest.raises(ValueError):
+            correlation_dimension(pts, r_min=0.2, r_max=0.1)
+        with pytest.raises(ValueError):
+            correlation_dimension(pts, n_radii=1)
+
+    def test_too_sparse_raises(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="non-empty radii"):
+            correlation_dimension(pts, r_min=1e-6, r_max=1e-5)
+
+    def test_local_slopes_diagnostic(self):
+        pts = uniform_points(2000, seed=3)
+        est = correlation_dimension(pts, r_min=2.0**-7, r_max=2.0**-4)
+        assert len(est.local_slopes) == len(est.radii) - 1

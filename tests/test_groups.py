@@ -1,0 +1,166 @@
+"""Unit tests for the CSJ merge window (repro.core.groups)."""
+
+import numpy as np
+import pytest
+
+from repro.core.groups import Group, GroupBuffer
+from repro.core.results import CollectSink
+
+
+def make_buffer(g=3, eps=1.0, dim=None, metric=None):
+    sink = CollectSink(id_width=4)
+    return GroupBuffer(g, eps, sink, metric=metric, dim=dim), sink
+
+
+class TestValidation:
+    def test_negative_g(self):
+        with pytest.raises(ValueError):
+            make_buffer(g=-1)
+
+    def test_nonpositive_eps(self):
+        with pytest.raises(ValueError):
+            make_buffer(eps=0.0)
+
+
+class TestWindowMechanics:
+    def test_eviction_writes_oldest(self):
+        buffer, sink = make_buffer(g=2, eps=10.0)
+        buffer.create_group([1, 2], [0, 0], [0.1, 0.1])
+        buffer.create_group([3, 4], [5, 5], [5.1, 5.1])
+        assert sink.groups == [] and sink.links == []
+        buffer.create_group([5, 6], [9, 9], [9.1, 9.1])  # evicts the first
+        assert sink.links == [(1, 2)]
+        buffer.flush()
+        assert sink.links == [(1, 2), (3, 4), (5, 6)]
+
+    def test_g_zero_writes_through(self):
+        buffer, sink = make_buffer(g=0, eps=10.0)
+        buffer.create_group([1, 2, 3], [0, 0], [1, 1])
+        assert sink.groups == [(1, 2, 3)]
+        assert len(buffer) == 0
+
+    def test_two_member_group_written_as_link(self):
+        buffer, sink = make_buffer(g=0, eps=10.0)
+        buffer.create_group([9, 4], [0, 0], [1, 1])
+        assert sink.links == [(4, 9)]
+        assert sink.groups == []
+
+    def test_singleton_group_dropped_silently(self):
+        buffer, sink = make_buffer(g=0, eps=10.0)
+        buffer.create_group([7], [0, 0], [0, 0])
+        assert sink.links == [] and sink.groups == []
+
+    def test_flush_empties_window(self):
+        buffer, sink = make_buffer(g=5, eps=10.0)
+        buffer.create_group([1, 2], [0, 0], [1, 1])
+        buffer.flush()
+        assert len(buffer) == 0
+        assert sink.links == [(1, 2)]
+
+
+class TestMerging2D:
+    def test_link_merges_into_recent_group(self):
+        buffer, sink = make_buffer(g=3, eps=1.0, dim=2)
+        buffer.create_group([1, 2], [0.0, 0.0], [0.1, 0.1])
+        buffer.add_link(3, 4, [0.2, 0.2], [0.3, 0.3])
+        buffer.flush()
+        assert sink.groups == [(1, 2, 3, 4)]
+        assert buffer.stats.merge_successes == 1
+
+    def test_far_link_creates_new_group(self):
+        buffer, sink = make_buffer(g=3, eps=1.0, dim=2)
+        buffer.create_group([1, 2], [0.0, 0.0], [0.1, 0.1])
+        buffer.add_link(3, 4, [5.0, 5.0], [5.1, 5.1])
+        buffer.flush()
+        assert sink.links == [(1, 2), (3, 4)]
+        assert buffer.stats.merge_successes == 0
+        assert buffer.stats.merge_attempts == 1
+
+    def test_merge_is_strict(self):
+        """A link whose inclusion makes the diagonal exactly eps fails."""
+        buffer, sink = make_buffer(g=1, eps=1.0, dim=2)
+        buffer.create_group([1, 2], [0.0, 0.0], [0.0, 0.0])
+        buffer.add_link(3, 4, [1.0, 0.0], [1.0, 0.0])  # diag becomes 1.0
+        buffer.flush()
+        assert sink.links == [(1, 2), (3, 4)]
+
+    def test_newest_group_scanned_first(self):
+        buffer, sink = make_buffer(g=2, eps=1.0, dim=2)
+        buffer.create_group([1, 2], [0.0, 0.0], [0.1, 0.1])  # older, also fits
+        buffer.create_group([5, 6], [0.1, 0.1], [0.2, 0.2])  # newest
+        buffer.add_link(7, 8, [0.15, 0.15], [0.2, 0.2])
+        buffer.flush()
+        # The link must be in the newest group, not the older one.
+        assert (5, 6, 7, 8) in sink.groups
+        assert sink.links == [(1, 2)]
+
+    def test_merge_extends_group_bounds(self):
+        buffer, _ = make_buffer(g=1, eps=2.0, dim=2)
+        group = buffer.create_group([1, 2], [0.0, 0.0], [0.1, 0.1])
+        buffer.add_link(3, 4, [0.5, 0.5], [0.6, 0.6])
+        assert group.hi == [0.6, 0.6]
+        assert group.lo == [0.0, 0.0]
+
+    def test_group_invariant_preserved(self, rng):
+        """After any sequence of merges, every group diagonal < eps."""
+        eps = 0.3
+        buffer, sink = make_buffer(g=4, eps=eps, dim=2)
+        pts = rng.random((200, 2)) * 0.5
+        for k in range(0, 200, 2):
+            if np.linalg.norm(pts[k] - pts[k + 1]) < eps:
+                buffer.add_link(k, k + 1, pts[k].tolist(), pts[k + 1].tolist())
+            for group in buffer._window:
+                diag = np.linalg.norm(np.array(group.hi) - np.array(group.lo))
+                assert diag < eps
+
+
+class TestMerging3D:
+    def test_3d_fast_path(self):
+        buffer, sink = make_buffer(g=2, eps=1.0, dim=3)
+        buffer.create_group([1, 2], [0, 0, 0], [0.1, 0.1, 0.1])
+        buffer.add_link(3, 4, [0.2, 0.2, 0.2], [0.3, 0.3, 0.3])
+        buffer.flush()
+        assert sink.groups == [(1, 2, 3, 4)]
+
+    def test_3d_rejects_far_link(self):
+        buffer, sink = make_buffer(g=2, eps=0.5, dim=3)
+        buffer.create_group([1, 2], [0, 0, 0], [0.1, 0.1, 0.1])
+        buffer.add_link(3, 4, [0.9, 0.9, 0.9], [1.0, 1.0, 1.0])
+        buffer.flush()
+        assert sink.links == [(1, 2), (3, 4)]
+
+
+class TestGenericMetricPath:
+    @pytest.mark.parametrize("metric_name", ["l1", "linf", 3])
+    def test_merge_respects_metric(self, metric_name):
+        from repro.geometry.metrics import get_metric
+
+        metric = get_metric(metric_name)
+        buffer, sink = make_buffer(g=2, eps=1.0, dim=2, metric=metric)
+        buffer.create_group([1, 2], [0.0, 0.0], [0.2, 0.2])
+        # Extending to (0.6, 0.6): spans (0.6, 0.6); L1 diag = 1.2 >= 1 but
+        # Linf diag = 0.6 < 1 — the metric decides.
+        buffer.add_link(3, 4, [0.5, 0.5], [0.6, 0.6])
+        buffer.flush()
+        if metric.name == "manhattan":
+            assert sink.links == [(1, 2), (3, 4)]
+        else:
+            assert sink.groups == [(1, 2, 3, 4)]
+
+    def test_generic_path_without_dim_hint(self):
+        buffer, sink = make_buffer(g=2, eps=1.0, dim=None)
+        buffer.create_group([1, 2], [0.0, 0.0], [0.1, 0.1])
+        buffer.add_link(3, 4, [0.2, 0.2], [0.3, 0.3])
+        buffer.flush()
+        assert sink.groups == [(1, 2, 3, 4)]
+
+
+class TestGroup:
+    def test_len_and_repr(self):
+        group = Group({1, 2, 3}, [0, 0], [1, 1])
+        assert len(group) == 3
+        assert "size=3" in repr(group)
+
+    def test_mbr_property(self):
+        group = Group({1}, [0.0, 0.0], [1.0, 2.0])
+        assert group.mbr.hi.tolist() == [1.0, 2.0]

@@ -1,0 +1,72 @@
+"""Unit tests for k-nearest-neighbour search on the indexes."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load
+from repro.index.mtree import MTree
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+def brute_knn(points, probe, k, metric):
+    dists = metric.point_to_points(probe, points)
+    order = np.lexsort((np.arange(len(points)), dists))
+    return order[:k].tolist()
+
+
+class TestNearest:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force(self, uniform_2d, k):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        probe = np.array([0.4, 0.7])
+        got = tree.nearest(probe, k=k).tolist()
+        assert got == brute_knn(uniform_2d, probe, k, tree.metric)
+
+    @pytest.mark.parametrize("tree_cls", [RTree, RStarTree, MTree])
+    def test_all_indexes(self, uniform_2d, tree_cls):
+        tree = tree_cls(uniform_2d, max_entries=8)
+        probe = np.array([0.1, 0.1])
+        assert tree.nearest(probe, k=5).tolist() == brute_knn(
+            uniform_2d, probe, 5, tree.metric
+        )
+
+    def test_metric_respected(self, uniform_2d):
+        tree = bulk_load(uniform_2d, metric="l1", max_entries=16)
+        probe = np.array([0.5, 0.5])
+        assert tree.nearest(probe, k=4).tolist() == brute_knn(
+            uniform_2d, probe, 4, tree.metric
+        )
+
+    def test_k_larger_than_n(self, rng):
+        pts = rng.random((7, 2))
+        tree = bulk_load(pts, max_entries=4)
+        got = tree.nearest([0.5, 0.5], k=20)
+        assert sorted(got.tolist()) == list(range(7))
+
+    def test_probe_coincides_with_point(self, rng):
+        pts = rng.random((50, 2))
+        tree = bulk_load(pts, max_entries=8)
+        assert tree.nearest(pts[13], k=1).tolist() == [13]
+
+    def test_empty_tree(self):
+        tree = RTree(np.empty((0, 2)))
+        assert tree.nearest([0.0, 0.0], k=3).size == 0
+
+    def test_k_validation(self, rng):
+        tree = bulk_load(rng.random((10, 2)))
+        with pytest.raises(ValueError):
+            tree.nearest([0.0, 0.0], k=0)
+
+    def test_tie_breaking_deterministic(self):
+        # Four equidistant points around the probe.
+        pts = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]])
+        tree = RTree(pts, max_entries=2)
+        assert tree.nearest([0.0, 0.0], k=2).tolist() == [0, 1]
+
+    def test_results_sorted_by_distance(self, uniform_3d):
+        tree = bulk_load(uniform_3d, max_entries=16)
+        probe = np.array([0.2, 0.2, 0.2])
+        ids = tree.nearest(probe, k=8)
+        dists = tree.metric.point_to_points(probe, uniform_3d[ids])
+        assert (np.diff(dists) >= -1e-12).all()

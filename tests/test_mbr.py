@@ -1,0 +1,186 @@
+"""Unit tests for repro.geometry.mbr."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import get_metric
+
+
+class TestConstruction:
+    def test_of_points(self):
+        mbr = MBR.of_points([[0, 1], [2, -1], [1, 0]])
+        assert mbr.lo.tolist() == [0, -1]
+        assert mbr.hi.tolist() == [2, 1]
+
+    def test_of_single_point(self):
+        mbr = MBR.of_point([3.0, 4.0])
+        assert mbr.lo.tolist() == mbr.hi.tolist() == [3.0, 4.0]
+        assert mbr.area() == 0.0
+
+    def test_of_mbrs(self):
+        combined = MBR.of_mbrs([MBR([0, 0], [1, 1]), MBR([2, -1], [3, 0.5])])
+        assert combined.lo.tolist() == [0, -1]
+        assert combined.hi.tolist() == [3, 1]
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_empty_mbrs_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.of_mbrs([])
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            MBR([1, 0], [0, 1])
+
+    def test_copy_is_independent(self):
+        a = MBR([0, 0], [1, 1])
+        b = a.copy()
+        b.extend_point([5, 5])
+        assert a.hi.tolist() == [1, 1]
+
+    def test_constructor_copies_input(self):
+        lo = np.array([0.0, 0.0])
+        mbr = MBR(lo, [1, 1])
+        lo[0] = 99.0
+        assert mbr.lo[0] == 0.0
+
+
+class TestScalars:
+    def test_area_margin(self):
+        mbr = MBR([0, 0], [2, 3])
+        assert mbr.area() == 6.0
+        assert mbr.margin() == 5.0
+
+    def test_center_extents(self):
+        mbr = MBR([0, 2], [4, 6])
+        assert mbr.center.tolist() == [2, 4]
+        assert mbr.extents.tolist() == [4, 4]
+
+    def test_diagonal_euclidean(self):
+        assert MBR([0, 0], [3, 4]).diagonal() == pytest.approx(5.0)
+
+    def test_diagonal_is_metric_dependent(self):
+        mbr = MBR([0, 0], [3, 4])
+        assert mbr.diagonal(get_metric("l1")) == pytest.approx(7.0)
+        assert mbr.diagonal(get_metric("linf")) == pytest.approx(4.0)
+
+    def test_diagonal_of_two_point_mbr_equals_distance(self, metric, rng):
+        # The completeness proof relies on this for every Minkowski metric.
+        for _ in range(25):
+            p, q = rng.random(3), rng.random(3)
+            mbr = MBR.of_points([p, q])
+            assert mbr.diagonal(metric) == pytest.approx(metric.distance(p, q))
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        mbr = MBR([0, 0], [1, 1])
+        assert mbr.contains_point([0.5, 0.5])
+        assert mbr.contains_point([0, 1])  # boundary included
+        assert not mbr.contains_point([1.01, 0.5])
+
+    def test_contains_mbr(self):
+        outer = MBR([0, 0], [2, 2])
+        assert outer.contains_mbr(MBR([0.5, 0.5], [1, 1]))
+        assert outer.contains_mbr(outer)
+        assert not outer.contains_mbr(MBR([1, 1], [3, 3]))
+
+    def test_intersects(self):
+        a = MBR([0, 0], [1, 1])
+        assert a.intersects(MBR([0.5, 0.5], [2, 2]))
+        assert a.intersects(MBR([1, 1], [2, 2]))  # touching counts
+        assert not a.intersects(MBR([1.1, 1.1], [2, 2]))
+
+
+class TestDistances:
+    def test_min_dist_disjoint(self):
+        a = MBR([0, 0], [1, 1])
+        b = MBR([4, 5], [6, 7])
+        assert a.min_dist(b) == pytest.approx(5.0)  # gap (3, 4)
+
+    def test_min_dist_overlapping_is_zero(self):
+        a = MBR([0, 0], [2, 2])
+        b = MBR([1, 1], [3, 3])
+        assert a.min_dist(b) == 0.0
+
+    def test_max_dist(self):
+        a = MBR([0, 0], [1, 1])
+        b = MBR([4, 0], [5, 1])
+        # Farthest corners: (0, 0)-(5, 1) or (0, 1)-(5, 0).
+        assert a.max_dist(b) == pytest.approx(np.hypot(5, 1))
+
+    def test_union_diagonal_bounds_all_pairs(self, rng, metric):
+        pts_a = rng.random((20, 2)) * 0.3
+        pts_b = rng.random((20, 2)) * 0.3 + 0.3
+        a, b = MBR.of_points(pts_a), MBR.of_points(pts_b)
+        bound = a.union_diagonal(b, metric)
+        both = np.vstack([pts_a, pts_b])
+        observed = metric.self_pairwise(both).max()
+        assert observed <= bound + 1e-12
+
+    def test_min_max_dist_point(self):
+        mbr = MBR([0, 0], [1, 1])
+        assert mbr.min_dist_point([0.5, 0.5]) == 0.0
+        assert mbr.min_dist_point([2, 1]) == pytest.approx(1.0)
+        assert mbr.max_dist_point([0, 0]) == pytest.approx(np.sqrt(2))
+
+    def test_min_dist_sandwich(self, rng, metric):
+        """min_dist lower-bounds every realised cross distance."""
+        pts_a = rng.random((15, 3))
+        pts_b = rng.random((15, 3)) + 1.5
+        a, b = MBR.of_points(pts_a), MBR.of_points(pts_b)
+        lower = a.min_dist(b, metric)
+        observed = metric.pairwise(pts_a, pts_b).min()
+        assert lower <= observed + 1e-12
+
+
+class TestCombination:
+    def test_union(self):
+        u = MBR([0, 0], [1, 1]).union(MBR([2, -1], [3, 0]))
+        assert u.lo.tolist() == [0, -1]
+        assert u.hi.tolist() == [3, 1]
+
+    def test_union_point(self):
+        u = MBR([0, 0], [1, 1]).union_point([2, -3])
+        assert u.lo.tolist() == [0, -3]
+        assert u.hi.tolist() == [2, 1]
+
+    def test_extend_in_place(self):
+        mbr = MBR([0, 0], [1, 1])
+        mbr.extend_point([2, 2])
+        mbr.extend_mbr(MBR([-1, 0], [0, 0.5]))
+        assert mbr.lo.tolist() == [-1, 0]
+        assert mbr.hi.tolist() == [2, 2]
+
+    def test_enlargement(self):
+        base = MBR([0, 0], [1, 1])
+        assert base.enlargement(MBR([0.2, 0.2], [0.8, 0.8])) == 0.0
+        assert base.enlargement(MBR([0, 0], [2, 1])) == pytest.approx(1.0)
+
+    def test_overlap_area(self):
+        a = MBR([0, 0], [2, 2])
+        assert a.overlap_area(MBR([1, 1], [3, 3])) == pytest.approx(1.0)
+        assert a.overlap_area(MBR([5, 5], [6, 6])) == 0.0
+        assert a.overlap_area(MBR([2, 0], [3, 2])) == 0.0  # touching edge
+
+
+class TestDunder:
+    def test_eq_and_hash(self):
+        a = MBR([0, 0], [1, 1])
+        b = MBR([0, 0], [1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MBR([0, 0], [1, 2])
+
+    def test_eq_other_type(self):
+        assert MBR([0], [1]) != "not an mbr"
+
+    def test_repr_round_trips_values(self):
+        text = repr(MBR([0, 0], [1, 1]))
+        assert "lo=[0.0, 0.0]" in text and "hi=[1.0, 1.0]" in text
+
+    def test_dim(self):
+        assert MBR([0, 0, 0], [1, 1, 1]).dim == 3

@@ -1,0 +1,173 @@
+"""Unit tests for the general-metric-space joins (repro.core.metricspace)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metricspace import (
+    BallGroupBuffer,
+    ObjectMetric,
+    brute_force_object_links,
+    build_metric_index,
+    metric_csj,
+    metric_similarity_join,
+)
+from repro.core.results import CollectSink
+
+
+def hamming(a: str, b: str) -> float:
+    """Hamming-with-length-penalty distance over strings."""
+    return float(sum(x != y for x, y in zip(a, b)) + abs(len(a) - len(b)))
+
+
+def levenshtein(a: str, b: str) -> float:
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        cur = [i]
+        for j, cb in enumerate(b, 1):
+            cur.append(min(prev[j] + 1, cur[-1] + 1, prev[j - 1] + (ca != cb)))
+        prev = cur
+    return float(prev[-1])
+
+
+@pytest.fixture
+def words(rng):
+    """Clusters of mutated words plus isolated strings."""
+    seeds = ["alpha", "bridge", "crystal", "domino"]
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    out = []
+    for seed_word in seeds:
+        out.append(seed_word)
+        for _ in range(12):
+            chars = list(seed_word)
+            pos = int(rng.integers(0, len(chars)))
+            chars[pos] = alphabet[int(rng.integers(0, 26))]
+            out.append("".join(chars))
+    out.extend(["zzzzzzzzzzzz", "qqq"])
+    return out
+
+
+class TestObjectMetric:
+    def test_distance_resolves_ids(self, words):
+        metric = ObjectMetric(words, hamming)
+        assert metric.distance([0.0], [0.0]) == 0.0
+        direct = hamming(words[0], words[3])
+        assert metric.distance([0.0], [3.0]) == direct
+
+    def test_pairwise(self, words):
+        metric = ObjectMetric(words, hamming)
+        ids = np.arange(5, dtype=float).reshape(-1, 1)
+        mat = metric.pairwise(ids, ids)
+        assert mat.shape == (5, 5)
+        assert np.allclose(np.diag(mat), 0.0)
+        assert mat[1, 2] == hamming(words[1], words[2])
+
+    def test_norm_rows_forbidden(self, words):
+        with pytest.raises(TypeError, match="no vector norm"):
+            ObjectMetric(words, hamming).norm_rows(np.zeros(2))
+
+
+class TestMetricIndex:
+    def test_builds_and_validates(self, words):
+        tree = build_metric_index(words, hamming, max_entries=4)
+        tree.validate()
+        assert tree.size == len(words)
+
+    def test_range_query(self, words):
+        tree = build_metric_index(words, hamming, max_entries=4)
+        hits = tree.range_query(np.array([0.0]), 2.0)
+        expected = [
+            i for i, w in enumerate(words) if hamming(words[0], w) < 2.0
+        ]
+        assert sorted(hits.tolist()) == expected
+
+
+class TestMetricCSJ:
+    @pytest.mark.parametrize("g", [0, 5, 10])
+    @pytest.mark.parametrize("eps", [1.5, 2.5, 4.0])
+    def test_lossless(self, words, eps, g):
+        truth = brute_force_object_links(words, eps, hamming)
+        result = metric_similarity_join(words, eps, hamming, g=g, max_entries=4)
+        assert result.expanded_links() == truth
+
+    def test_levenshtein_lossless(self, words):
+        truth = brute_force_object_links(words, 2.0, levenshtein)
+        result = metric_similarity_join(words, 2.0, levenshtein, max_entries=4)
+        assert result.expanded_links() == truth
+
+    def test_groups_mutually_satisfy(self, words):
+        eps = 3.0
+        result = metric_similarity_join(words, eps, hamming, max_entries=4)
+        for ids in result.groups:
+            for a in range(len(ids)):
+                for b in range(a + 1, len(ids)):
+                    assert hamming(words[ids[a]], words[ids[b]]) < eps
+
+    def test_compacts_clustered_strings(self, words):
+        eps = 3.0
+        compact = metric_similarity_join(words, eps, hamming, g=10, max_entries=4)
+        naive = metric_similarity_join(words, eps, hamming, g=0, max_entries=4)
+        assert compact.stats.groups_emitted > 0
+        assert compact.output_bytes <= naive.output_bytes
+
+    def test_labels(self, words):
+        assert metric_similarity_join(words, 2.0, hamming).algorithm == "metric-csj(10)"
+        assert metric_similarity_join(words, 2.0, hamming, g=0).algorithm == "metric-ncsj"
+
+    def test_rejects_vector_trees(self, rng):
+        from repro.index.mtree import MTree
+
+        tree = MTree(rng.random((30, 2)), max_entries=8)
+        with pytest.raises(TypeError, match="ObjectMetric"):
+            metric_csj(tree, 0.1)
+
+    def test_eps_validation(self, words):
+        tree = build_metric_index(words, hamming)
+        with pytest.raises(ValueError):
+            metric_csj(tree, 0.0)
+
+    def test_vector_data_through_object_interface(self, rng):
+        """Sanity: a Euclidean callable gives the same links as the
+        vector pipeline."""
+        pts = [tuple(row) for row in rng.random((80, 2))]
+
+        def euclid(a, b):
+            return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+
+        truth = brute_force_object_links(pts, 0.15, euclid)
+        result = metric_similarity_join(pts, 0.15, euclid, max_entries=8)
+        assert result.expanded_links() == truth
+
+
+class TestBallGroupBuffer:
+    def test_merge_within_half_eps(self):
+        sink = CollectSink(id_width=2)
+        buffer = BallGroupBuffer(3, 4.0, sink, distance_fn=hamming)
+        buffer.create_group([0, 1], "cat", 1.0)
+        buffer.add_link(2, 3, "cap", "car")  # both within 1 of "cat"
+        buffer.flush()
+        assert sink.groups == [(0, 1, 2, 3)]
+
+    def test_reject_beyond_half_eps(self):
+        sink = CollectSink(id_width=2)
+        buffer = BallGroupBuffer(3, 4.0, sink, distance_fn=hamming)
+        buffer.create_group([0, 1], "cat", 1.0)
+        buffer.add_link(2, 3, "dddddd", "ddddddd")  # far from "cat", d=1
+        buffer.flush()
+        # The far link seeds its own ball group (d = 1, 2*1 < 4).
+        assert (2, 3) in sink.links or (2, 3) in [tuple(sorted(g[:2])) for g in sink.groups]
+
+    def test_unseedable_link_written_individually(self):
+        sink = CollectSink(id_width=2)
+        buffer = BallGroupBuffer(3, 2.0, sink, distance_fn=hamming)
+        # d("ab", "cd") = 2; 2*... wait strict: link qualifies at eps > 2.
+        buffer.add_link(0, 1, "ax", "ay")  # d=1; 2*1 = 2 >= eps -> no ball
+        buffer.flush()
+        assert sink.links == [(0, 1)]
+        assert sink.groups == []
+
+    def test_validation(self):
+        sink = CollectSink()
+        with pytest.raises(ValueError):
+            BallGroupBuffer(-1, 1.0, sink, distance_fn=hamming)
+        with pytest.raises(ValueError):
+            BallGroupBuffer(1, 0.0, sink, distance_fn=hamming)

@@ -1,0 +1,102 @@
+"""Unit tests for the M-tree (repro.index.mtree)."""
+
+import numpy as np
+import pytest
+
+from repro.index.base import IndexInvariantError
+from repro.index.mtree import MTree
+
+
+class TestBuild:
+    def test_build_validates(self, uniform_2d):
+        tree = MTree(uniform_2d, max_entries=8)
+        tree.validate()
+        assert tree.size == len(uniform_2d)
+
+    def test_clustered(self, clustered_2d):
+        MTree(clustered_2d, max_entries=8).validate()
+
+    def test_empty_and_single(self):
+        MTree(np.empty((0, 2))).validate()
+        t = MTree(np.array([[0.0, 0.0]]))
+        t.validate()
+        assert t.root.entry_ids == [0]
+
+    def test_duplicates(self):
+        MTree(np.tile([[0.2, 0.8]], (30, 1)), max_entries=4).validate()
+
+    @pytest.mark.parametrize("name", ["l1", "linf", 3])
+    def test_non_euclidean_metrics(self, rng, name):
+        tree = MTree(rng.random((150, 2)), metric=name, max_entries=8)
+        tree.validate()
+
+    def test_shuffle_seed(self, rng):
+        pts = rng.random((100, 2))
+        MTree(pts, max_entries=8, shuffle_seed=3).validate()
+
+
+class TestRadii:
+    def test_covering_radius_covers_all_points(self, rng, metric):
+        pts = rng.random((200, 2))
+        tree = MTree(pts, metric=metric, max_entries=8)
+        for node in tree.nodes():
+            ids = node.subtree_ids()
+            center = pts[node.router]
+            dists = metric.point_to_points(center, pts[ids])
+            assert dists.max() <= node.radius + 1e-9
+
+    def test_validate_detects_radius_corruption(self, rng):
+        tree = MTree(rng.random((100, 2)), max_entries=8)
+        if tree.root.is_leaf:
+            pytest.skip("tree too small")
+        tree.root.children[0].radius = 0.0
+        with pytest.raises(IndexInvariantError):
+            tree.validate()
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, rng, metric):
+        pts = rng.random((300, 2))
+        tree = MTree(pts, metric=metric, max_entries=8)
+        center = np.array([0.5, 0.5])
+        expected = np.nonzero(metric.point_to_points(center, pts) < 0.2)[0]
+        assert tree.range_query(center, 0.2).tolist() == expected.tolist()
+
+
+class TestDeletion:
+    def test_delete_raises_explicitly(self, rng):
+        tree = MTree(rng.random((20, 2)), max_entries=8)
+        with pytest.raises(NotImplementedError, match="rebuild"):
+            tree.delete(3)
+
+
+class TestNodeContract:
+    def test_bounds(self, rng):
+        from repro.geometry.metrics import Euclidean
+
+        metric = Euclidean()
+        pts = rng.random((300, 2))
+        tree = MTree(pts, max_entries=8)
+        leaves = list(tree.leaves())
+        a, b = leaves[0], leaves[-1]
+        ids_a, ids_b = np.asarray(a.entry_ids), np.asarray(b.entry_ids)
+        cross = metric.pairwise(pts[ids_a], pts[ids_b])
+        assert a.min_dist(b, metric) <= cross.min() + 1e-9
+        both = np.vstack([pts[ids_a], pts[ids_b]])
+        assert metric.self_pairwise(both).max() <= a.union_diameter(b, metric) + 1e-9
+
+    def test_min_dist_point(self, rng):
+        from repro.geometry.metrics import Euclidean
+
+        metric = Euclidean()
+        pts = rng.random((100, 2))
+        tree = MTree(pts, max_entries=8)
+        probe = np.array([2.0, 2.0])
+        for leaf in tree.leaves():
+            ids = np.asarray(leaf.entry_ids)
+            observed = metric.point_to_points(probe, pts[ids]).min()
+            assert leaf.min_dist_point(probe, metric) <= observed + 1e-9
+
+    def test_repr(self, rng):
+        tree = MTree(rng.random((50, 2)), max_entries=8)
+        assert "BallNode" in repr(tree.root)

@@ -1,0 +1,85 @@
+"""Unit tests for outlier mining on compact output (repro.core.outliers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.csj import csj
+from repro.core.outliers import find_outliers, group_size_profile, rank_by_isolation
+from repro.core.results import JoinResult
+from repro.index.bulk import bulk_load
+
+
+class TestGroupSizeProfile:
+    def test_links_count_as_two(self):
+        result = JoinResult(eps=0.1, algorithm="x", links=[(0, 1)])
+        profile = group_size_profile(result, 3)
+        assert profile.tolist() == [2, 2, 0]
+
+    def test_groups_use_size(self):
+        result = JoinResult(eps=0.1, algorithm="x", groups=[(0, 1, 2, 3)])
+        profile = group_size_profile(result, 5)
+        assert profile.tolist() == [4, 4, 4, 4, 0]
+
+    def test_max_over_memberships(self):
+        result = JoinResult(
+            eps=0.1, algorithm="x", links=[(0, 4)], groups=[(0, 1, 2)]
+        )
+        profile = group_size_profile(result, 5)
+        assert profile[0] == 3  # the group dominates the link
+        assert profile[4] == 2
+
+    def test_group_pairs(self):
+        result = JoinResult(
+            eps=0.1, algorithm="x", group_pairs=[((0, 1), (2, 3, 4))]
+        )
+        profile = group_size_profile(result, 6)
+        assert profile.tolist() == [5, 5, 5, 5, 5, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_size_profile(JoinResult(eps=0.1, algorithm="x"), -1)
+
+
+class TestFindOutliers:
+    def test_isolated_and_paired(self):
+        result = JoinResult(
+            eps=0.1, algorithm="x", links=[(0, 1)], groups=[(2, 3, 4, 5)]
+        )
+        outliers = find_outliers(result, 7, max_group_size=2)
+        assert outliers.tolist() == [0, 1, 6]
+
+    def test_exclude_isolated(self):
+        result = JoinResult(eps=0.1, algorithm="x", links=[(0, 1)])
+        outliers = find_outliers(result, 3, max_group_size=2, include_isolated=False)
+        assert outliers.tolist() == [0, 1]
+
+    def test_end_to_end_injected_outliers(self, rng):
+        """Points injected far from clusters rank as most isolated."""
+        centers = rng.random((4, 2)) * 0.5 + 0.25
+        cluster = centers[rng.integers(0, 4, 400)] + rng.normal(
+            scale=0.01, size=(400, 2)
+        )
+        outlier_points = np.array([[0.0, 0.0], [0.99, 0.01], [0.01, 0.99]])
+        pts = np.vstack([cluster, outlier_points])
+        tree = bulk_load(pts, max_entries=16)
+        result = csj(tree, 0.05, g=10)
+        injected = {400, 401, 402}
+        found = set(find_outliers(result, len(pts), max_group_size=2).tolist())
+        assert injected <= found
+        # And nothing from the cluster cores leaks in en masse.
+        assert len(found) < 50
+
+
+class TestRanking:
+    def test_most_isolated_first(self):
+        result = JoinResult(
+            eps=0.1, algorithm="x", links=[(1, 2)], groups=[(3, 4, 5)]
+        )
+        ranked = rank_by_isolation(result, 6).tolist()
+        assert ranked[0] == 0  # appears nowhere
+        assert set(ranked[1:3]) == {1, 2}
+        assert set(ranked[3:]) == {3, 4, 5}
+
+    def test_stable_ties(self):
+        result = JoinResult(eps=0.1, algorithm="x")
+        assert rank_by_isolation(result, 4).tolist() == [0, 1, 2, 3]

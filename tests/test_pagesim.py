@@ -1,0 +1,81 @@
+"""Unit tests for the simulated disk (repro.io.pagesim)."""
+
+import pytest
+
+from repro.index.rtree import RTree
+from repro.io.pagesim import NodePager, PageCache, PagedFile
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        cache = PageCache(capacity_pages=2)
+        assert not cache.access(1)
+        assert cache.access(1)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.accesses == 2
+
+    def test_lru_eviction(self):
+        cache = PageCache(capacity_pages=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)  # evicts 1
+        assert not cache.access(1)
+
+    def test_lru_recency_update(self):
+        cache = PageCache(capacity_pages=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 becomes most recent
+        cache.access(3)  # evicts 2, not 1
+        assert cache.access(1)
+
+    def test_reset(self):
+        cache = PageCache(4)
+        cache.access(1)
+        cache.reset()
+        assert cache.hits == cache.misses == 0
+        assert not cache.access(1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+
+
+class TestPagedFile:
+    def test_page_counting(self):
+        pf = PagedFile(page_size=100)
+        assert pf.pages_written == 0
+        assert pf.append(50) == 1
+        assert pf.append(49) == 0  # still first page
+        assert pf.append(2) == 1  # spills to second page
+        assert pf.pages_written == 2
+
+    def test_negative_append_rejected(self):
+        with pytest.raises(ValueError):
+            PagedFile().append(-1)
+
+    def test_page_size_validation(self):
+        with pytest.raises(ValueError):
+            PagedFile(page_size=0)
+
+
+class TestNodePager:
+    def test_visits_counted(self, rng):
+        tree = RTree(rng.random((200, 2)), max_entries=8)
+        cache = PageCache(capacity_pages=4)
+        pager = NodePager(tree, cache, nodes_per_page=2)
+        for node in tree.nodes():
+            pager.visit(node)
+        assert cache.accesses == tree.node_count()
+
+    def test_unknown_node_ignored(self, rng):
+        tree = RTree(rng.random((50, 2)), max_entries=8)
+        pager = NodePager(tree, PageCache(4))
+        pager.visit(object())  # not in the tree: silently skipped
+        assert pager.cache.accesses == 0
+
+    def test_nodes_per_page_validation(self, rng):
+        tree = RTree(rng.random((20, 2)), max_entries=8)
+        with pytest.raises(ValueError):
+            NodePager(tree, PageCache(4), nodes_per_page=0)

@@ -1,0 +1,111 @@
+"""Unit tests for index persistence (repro.index.persist)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.csj import csj
+from repro.core.ssj import ssj
+from repro.index.bulk import bulk_load
+from repro.index.mtree import MTree
+from repro.index.persist import load_index, save_index
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+def round_trip(tree, tmp_path):
+    path = str(tmp_path / "index.npz")
+    save_index(tree, path)
+    return load_index(path)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls", [RTree, RStarTree, MTree])
+    def test_structure_preserved(self, uniform_2d, tmp_path, cls):
+        tree = cls(uniform_2d, max_entries=8)
+        loaded = round_trip(tree, tmp_path)
+        loaded.validate()
+        assert type(loaded) is cls
+        assert loaded.height == tree.height
+        assert loaded.node_count() == tree.node_count()
+        assert loaded.max_entries == tree.max_entries
+
+    def test_bulk_loaded_tree(self, uniform_2d, tmp_path):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        loaded = round_trip(tree, tmp_path)
+        loaded.validate()
+
+    def test_join_output_identical(self, clustered_2d, tmp_path):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        loaded = round_trip(tree, tmp_path)
+        original = csj(tree, 0.05, g=10)
+        restored = csj(loaded, 0.05, g=10)
+        assert original.groups == restored.groups
+        assert original.links == restored.links
+
+    def test_ssj_identical(self, uniform_2d, tmp_path):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        loaded = round_trip(tree, tmp_path)
+        assert ssj(tree, 0.1).links == ssj(loaded, 0.1).links
+
+    def test_queries_identical(self, uniform_2d, tmp_path):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        loaded = round_trip(tree, tmp_path)
+        probe = np.array([0.3, 0.3])
+        assert tree.range_query(probe, 0.2).tolist() == loaded.range_query(probe, 0.2).tolist()
+        assert tree.nearest(probe, 5).tolist() == loaded.nearest(probe, 5).tolist()
+
+    def test_metric_preserved(self, uniform_2d, tmp_path):
+        tree = bulk_load(uniform_2d, metric="l1", max_entries=16)
+        loaded = round_trip(tree, tmp_path)
+        assert loaded.metric.name == "manhattan"
+
+    def test_deleted_ids_preserved(self, rng, tmp_path):
+        pts = rng.random((100, 2))
+        tree = RTree(pts, max_entries=8)
+        for pid in (3, 17, 42):
+            tree.delete(pid)
+        loaded = round_trip(tree, tmp_path)
+        loaded.validate()
+        assert loaded._deleted == {3, 17, 42}
+
+    def test_loaded_tree_stays_dynamic(self, rng, tmp_path):
+        pts = rng.random((80, 2))
+        tree = RStarTree(pts[:60], max_entries=8)
+        loaded = round_trip(tree, tmp_path)
+        loaded.points = pts
+        for pid in range(60, 80):
+            loaded.insert(pid)
+        loaded.validate()
+        assert loaded.root.subtree_count() == 80
+
+    def test_empty_tree(self, tmp_path):
+        tree = RTree(np.empty((0, 2)))
+        loaded = round_trip(tree, tmp_path)
+        assert loaded.root is None
+        loaded.validate()
+
+    def test_file_exists(self, uniform_2d, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_index(bulk_load(uniform_2d), path)
+        assert os.path.getsize(path) > 0
+
+
+class TestErrors:
+    def test_object_metric_rejected(self, tmp_path):
+        from repro.core.metricspace import build_metric_index
+
+        tree = build_metric_index(["aa", "ab"], lambda a, b: float(a != b))
+        with pytest.raises(TypeError, match="ObjectMetric"):
+            save_index(tree, str(tmp_path / "t.npz"))
+
+    def test_unknown_kind_rejected(self, uniform_2d, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_index(bulk_load(uniform_2d), path)
+        # Corrupt the kind field.
+        data = dict(np.load(path, allow_pickle=False))
+        data["kind"] = np.array("btree")
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="unknown index kind"):
+            load_index(path)

@@ -1,0 +1,197 @@
+"""Unit tests for the Guttman R-tree (repro.index.rtree)."""
+
+import numpy as np
+import pytest
+
+from repro.index.base import IndexInvariantError
+from repro.index.rtree import RTree
+
+
+class TestBuild:
+    @pytest.mark.parametrize("split", ["quadratic", "linear"])
+    def test_build_validates(self, uniform_2d, split):
+        tree = RTree(uniform_2d, max_entries=8, split=split)
+        tree.validate()
+        assert tree.size == len(uniform_2d)
+
+    def test_unknown_split_rejected(self, uniform_2d):
+        with pytest.raises(ValueError, match="split"):
+            RTree(uniform_2d, split="magic")
+
+    def test_bad_points_shape(self):
+        with pytest.raises(ValueError, match="\\(n, d\\)"):
+            RTree(np.zeros(5))
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            RTree(np.zeros((3, 2)), max_entries=1)
+
+    def test_bad_min_fill(self):
+        with pytest.raises(ValueError, match="min_fill"):
+            RTree(np.zeros((3, 2)), min_fill=0.9)
+
+    def test_empty_tree(self):
+        tree = RTree(np.empty((0, 2)))
+        assert tree.root is None
+        assert tree.height == 0
+        assert list(tree.nodes()) == []
+        tree.validate()
+
+    def test_single_point(self):
+        tree = RTree(np.array([[0.5, 0.5]]))
+        tree.validate()
+        assert tree.height == 1
+        assert tree.root.entry_ids == [0]
+
+    def test_duplicate_points(self):
+        pts = np.tile([[0.5, 0.5]], (50, 1))
+        tree = RTree(pts, max_entries=8)
+        tree.validate()
+        assert tree.root.subtree_count() == 50
+
+    def test_grows_multiple_levels(self, rng):
+        tree = RTree(rng.random((300, 2)), max_entries=5)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_shuffle_seed_changes_structure(self, rng):
+        pts = rng.random((200, 2))
+        a = RTree(pts, max_entries=8, shuffle_seed=1)
+        b = RTree(pts, max_entries=8, shuffle_seed=2)
+        a.validate(), b.validate()
+        # Same data, same invariants — order only affects internal shape.
+        assert a.size == b.size
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, uniform_2d):
+        tree = RTree(uniform_2d, max_entries=8)
+        center = np.array([0.5, 0.5])
+        for radius in (0.05, 0.2, 0.7):
+            expected = np.nonzero(
+                np.linalg.norm(uniform_2d - center, axis=1) < radius
+            )[0]
+            got = tree.range_query(center, radius)
+            assert got.tolist() == expected.tolist()
+
+    def test_strict_inequality(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        tree = RTree(pts)
+        # Point at exactly radius 1 is excluded.
+        assert tree.range_query([0.0, 0.0], 1.0).tolist() == [0]
+
+    def test_empty_result(self, uniform_2d):
+        tree = RTree(uniform_2d)
+        assert tree.range_query([50.0, 50.0], 0.1).size == 0
+
+    def test_empty_tree_query(self):
+        tree = RTree(np.empty((0, 2)))
+        assert tree.range_query([0.0, 0.0], 1.0).size == 0
+
+    def test_metric_respected(self, rng):
+        pts = rng.random((100, 2))
+        tree = RTree(pts, metric="l1")
+        center = np.array([0.5, 0.5])
+        expected = np.nonzero(np.abs(pts - center).sum(axis=1) < 0.3)[0]
+        assert tree.range_query(center, 0.3).tolist() == expected.tolist()
+
+
+class TestDelete:
+    def test_delete_then_query(self, rng):
+        pts = rng.random((120, 2))
+        tree = RTree(pts, max_entries=6)
+        assert tree.delete(7)
+        hits = tree.range_query(pts[7], 1e-9)
+        assert 7 not in hits.tolist()
+
+    def test_delete_missing_returns_false(self, rng):
+        pts = rng.random((30, 2))
+        tree = RTree(pts, max_entries=6)
+        assert tree.delete(3)
+        assert not tree.delete(3)
+
+    def test_delete_many_keeps_invariants(self, rng):
+        pts = rng.random((150, 2))
+        tree = RTree(pts, max_entries=6)
+        removed = rng.choice(150, size=100, replace=False)
+        for pid in removed:
+            assert tree.delete(int(pid))
+        remaining = sorted(set(range(150)) - set(removed.tolist()))
+        got = sorted(
+            int(i) for leaf in tree.leaves() for i in leaf.entry_ids
+        )
+        assert got == remaining
+
+    def test_delete_everything(self, rng):
+        pts = rng.random((40, 2))
+        tree = RTree(pts, max_entries=4)
+        for pid in range(40):
+            assert tree.delete(pid)
+        assert tree.root is None or tree.root.subtree_count() == 0
+
+
+class TestNodeContract:
+    def test_min_dist_lower_bounds(self, rng, metric):
+        pts = rng.random((200, 2))
+        tree = RTree(pts, metric=metric, max_entries=8)
+        leaves = list(tree.leaves())
+        a, b = leaves[0], leaves[-1]
+        ids_a = np.asarray(a.entry_ids)
+        ids_b = np.asarray(b.entry_ids)
+        observed = metric.pairwise(pts[ids_a], pts[ids_b]).min()
+        assert a.min_dist(b, metric) <= observed + 1e-12
+
+    def test_diameter_upper_bounds(self, rng, metric):
+        pts = rng.random((200, 2))
+        tree = RTree(pts, metric=metric, max_entries=8)
+        for leaf in tree.leaves():
+            ids = np.asarray(leaf.entry_ids)
+            if len(ids) < 2:
+                continue
+            observed = metric.self_pairwise(pts[ids]).max()
+            assert observed <= leaf.diameter(metric) + 1e-12
+
+    def test_subtree_ids_cached_and_correct(self, rng):
+        tree = RTree(rng.random((100, 2)), max_entries=8)
+        ids = tree.root.subtree_ids()
+        assert sorted(ids.tolist()) == list(range(100))
+        assert tree.root.subtree_ids() is ids  # cached
+
+    def test_insert_invalidates_cache(self, rng):
+        pts = rng.random((60, 2))
+        tree = RTree(pts[:50], max_entries=8)
+        _ = tree.root.subtree_ids()
+        tree.points = pts  # extend backing store
+        tree.insert(55)
+        assert 55 in tree.root.subtree_ids().tolist()
+
+    def test_validate_detects_corruption(self, rng):
+        tree = RTree(rng.random((100, 2)), max_entries=8)
+        # Shrink the root MBR so it no longer covers children.
+        tree.root.mbr.hi[:] = tree.root.mbr.lo + 1e-9
+        with pytest.raises(IndexInvariantError):
+            tree.validate()
+
+    def test_validate_detects_duplicate_entries(self, rng):
+        tree = RTree(rng.random((50, 2)), max_entries=8)
+        leaf = next(iter(tree.leaves()))
+        leaf.entry_ids.append(leaf.entry_ids[0])
+        with pytest.raises(IndexInvariantError, match="partition"):
+            tree.validate()
+
+    def test_repr(self, rng):
+        tree = RTree(rng.random((50, 2)), max_entries=8)
+        assert "RTree" in repr(tree)
+        assert "leaf" in repr(next(iter(tree.leaves())))
+
+
+class TestSplits:
+    def test_linear_split_on_identical_rects(self):
+        # All points identical: seeds degenerate; split must still work.
+        pts = np.tile([[0.3, 0.3]], (20, 1))
+        tree = RTree(pts, max_entries=4, split="linear")
+        tree.validate()
+
+    def test_quadratic_min_fill_respected(self, rng):
+        tree = RTree(rng.random((500, 2)), max_entries=10, min_fill=0.4)
+        tree.validate()  # validate() enforces the fill bounds

@@ -1,0 +1,116 @@
+"""Unit tests for the standard similarity join (repro.core.ssj)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_links
+from repro.core.results import CountingSink
+from repro.core.ssj import ssj
+from repro.index.bulk import bulk_load
+from repro.index.mtree import MTree
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+from repro.io.pagesim import NodePager, PageCache
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("eps", [0.01, 0.05, 0.2])
+    def test_matches_brute_force_uniform(self, uniform_2d, eps):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        result = ssj(tree, eps)
+        assert set(result.links) == brute_force_links(uniform_2d, eps)
+
+    def test_matches_brute_force_clustered(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        result = ssj(tree, 0.05)
+        assert set(result.links) == brute_force_links(clustered_2d, 0.05)
+
+    def test_three_dimensional(self, uniform_3d):
+        tree = bulk_load(uniform_3d, max_entries=16)
+        result = ssj(tree, 0.15)
+        assert set(result.links) == brute_force_links(uniform_3d, 0.15)
+
+    @pytest.mark.parametrize("tree_cls", [RTree, RStarTree, MTree])
+    def test_index_independent(self, clustered_2d, tree_cls):
+        tree = tree_cls(clustered_2d, max_entries=16)
+        result = ssj(tree, 0.05)
+        assert set(result.links) == brute_force_links(clustered_2d, 0.05)
+
+    def test_metric_parameterised(self, uniform_2d, metric):
+        tree = bulk_load(uniform_2d, metric=metric, max_entries=16)
+        result = ssj(tree, 0.1)
+        assert set(result.links) == brute_force_links(uniform_2d, 0.1, metric)
+
+    def test_no_duplicate_links(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=8)
+        result = ssj(tree, 0.08)
+        assert len(result.links) == len(set(result.links))
+
+    def test_strict_range(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 0.0]])
+        tree = RTree(pts, max_entries=4)
+        result = ssj(tree, 0.5)
+        assert set(result.links) == set()  # both gaps are exactly 0.5
+        result = ssj(tree, 0.5 + 1e-9)
+        assert set(result.links) == {(0, 2), (1, 2)}
+
+
+class TestEdgeCases:
+    def test_empty_tree(self):
+        result = ssj(RTree(np.empty((0, 2))), 0.1)
+        assert result.links == []
+
+    def test_single_point(self):
+        result = ssj(RTree(np.array([[0.1, 0.1]])), 0.1)
+        assert result.links == []
+
+    def test_two_identical_points(self):
+        result = ssj(RTree(np.array([[0.5, 0.5], [0.5, 0.5]])), 0.01)
+        assert result.links == [(0, 1)]
+
+    def test_eps_validation(self, uniform_2d):
+        tree = bulk_load(uniform_2d)
+        with pytest.raises(ValueError):
+            ssj(tree, 0.0)
+
+
+class TestInstrumentation:
+    def test_stats_populated(self, clustered_2d):
+        tree = bulk_load(clustered_2d, max_entries=16)
+        result = ssj(tree, 0.05)
+        stats = result.stats
+        assert stats.links_emitted == len(result.links)
+        assert stats.distance_computations > 0
+        assert stats.nodes_visited >= tree.leaf_count()
+        assert stats.compute_time > 0.0
+        # width_for(600) = 3 digits -> a link line costs 2 * (3 + 1) bytes.
+        assert stats.bytes_written == len(result.links) * 8
+
+    def test_algorithm_label(self, uniform_2d):
+        tree = bulk_load(uniform_2d)
+        assert ssj(tree, 0.05).algorithm == "ssj"
+
+    def test_counting_sink_only_counts(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        collected = ssj(tree, 0.1)
+        counted = ssj(tree, 0.1, sink=CountingSink(id_width=3))
+        assert counted.links == []
+        assert counted.stats.links_emitted == len(collected.links)
+
+    def test_pruning_reduces_distance_computations(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        n = len(uniform_2d)
+        result = ssj(tree, 0.02)
+        assert result.stats.distance_computations < n * (n - 1) // 2
+
+    def test_pager_counts_accesses(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        pager = NodePager(tree, PageCache(64))
+        result = ssj(tree, 0.05, pager=pager)
+        assert result.stats.page_reads + result.stats.cache_hits > 0
+
+    def test_output_order_is_deterministic(self, uniform_2d):
+        tree = bulk_load(uniform_2d, max_entries=16)
+        a = ssj(tree, 0.05).links
+        b = ssj(tree, 0.05).links
+        assert a == b

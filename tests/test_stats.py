@@ -1,0 +1,67 @@
+"""Unit tests for repro.stats.counters."""
+
+import time
+
+import pytest
+
+from repro.stats.counters import JoinStats, Timer
+
+
+class TestJoinStats:
+    def test_defaults_zero(self):
+        stats = JoinStats()
+        assert stats.distance_computations == 0
+        assert stats.total_time == 0.0
+        assert stats.bytes_written == 0
+
+    def test_addition(self):
+        a = JoinStats(distance_computations=5, compute_time=1.0)
+        b = JoinStats(distance_computations=3, compute_time=0.5, links_emitted=2)
+        c = a + b
+        assert c.distance_computations == 8
+        assert c.compute_time == 1.5
+        assert c.links_emitted == 2
+        # Operands untouched.
+        assert a.distance_computations == 5
+
+    def test_addition_wrong_type(self):
+        with pytest.raises(TypeError):
+            JoinStats() + 5
+
+    def test_total_time(self):
+        stats = JoinStats(compute_time=1.5, write_time=0.5)
+        assert stats.total_time == 2.0
+
+    def test_as_dict_round_trip(self):
+        stats = JoinStats(links_emitted=7)
+        d = stats.as_dict()
+        assert d["links_emitted"] == 7
+        assert set(d) >= {"distance_computations", "compute_time", "write_time"}
+
+    def test_reset(self):
+        stats = JoinStats(links_emitted=7, compute_time=1.0)
+        stats.reset()
+        assert stats.links_emitted == 0
+        assert stats.compute_time == 0.0
+
+    def test_pairs_reported(self):
+        assert JoinStats(links_emitted=4).pairs_reported == 4
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        assert first >= 0.009
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0

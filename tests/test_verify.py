@@ -1,0 +1,63 @@
+"""Unit tests for the equivalence verifier (repro.core.verify)."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import JoinResult
+from repro.core.verify import check_equivalence, expand_result
+
+
+@pytest.fixture
+def three_points():
+    # 0 and 1 are close; 2 is far away.
+    return np.array([[0.0, 0.0], [0.05, 0.0], [0.9, 0.9]])
+
+
+class TestCheckEquivalence:
+    def test_ok(self, three_points):
+        result = JoinResult(eps=0.1, algorithm="x", links=[(0, 1)])
+        report = check_equivalence(three_points, 0.1, result)
+        assert report.ok
+        assert report.expected == report.implied == 1
+        report.raise_if_failed()  # no exception
+
+    def test_missing_detected(self, three_points):
+        result = JoinResult(eps=0.1, algorithm="x", links=[])
+        report = check_equivalence(three_points, 0.1, result)
+        assert not report.ok
+        assert report.missing == {(0, 1)}
+        with pytest.raises(AssertionError, match="missing"):
+            report.raise_if_failed()
+
+    def test_extra_detected(self, three_points):
+        result = JoinResult(eps=0.1, algorithm="x", links=[(0, 1), (0, 2)])
+        report = check_equivalence(three_points, 0.1, result)
+        assert report.extra == {(0, 2)}
+        with pytest.raises(AssertionError, match="extra"):
+            report.raise_if_failed()
+
+    def test_group_expansion_used(self, three_points):
+        result = JoinResult(eps=0.1, algorithm="x", groups=[(0, 1)])
+        assert check_equivalence(three_points, 0.1, result).ok
+
+    def test_precomputed_ground_truth(self, three_points):
+        result = JoinResult(eps=0.1, algorithm="x", links=[(0, 1)])
+        report = check_equivalence(
+            three_points, 0.1, result, ground_truth={(0, 1)}
+        )
+        assert report.ok
+
+    def test_repr(self, three_points):
+        result = JoinResult(eps=0.1, algorithm="x", links=[(0, 1)])
+        assert "OK" in repr(check_equivalence(three_points, 0.1, result))
+        bad = JoinResult(eps=0.1, algorithm="x")
+        assert "FAILED" in repr(check_equivalence(three_points, 0.1, bad))
+
+
+class TestExpandResult:
+    def test_matches_method(self):
+        result = JoinResult(
+            eps=0.1, algorithm="x", links=[(1, 0)], groups=[(2, 3, 4)]
+        )
+        assert expand_result(result) == result.expanded_links()
+        assert (0, 1) in expand_result(result)

@@ -1,0 +1,100 @@
+"""Unit tests for the fixed-width output format (repro.io.writer)."""
+
+import io
+
+import pytest
+
+from repro.io.writer import FixedWidthWriter, line_bytes, read_output, width_for
+
+
+class TestLineBytes:
+    def test_link_line(self):
+        # "0001 0002\n" = 10 bytes.
+        assert line_bytes(2, 4) == 10
+
+    def test_group_line(self):
+        # "0001 0002 0003\n" = 15 bytes.
+        assert line_bytes(3, 4) == 15
+
+    def test_empty(self):
+        assert line_bytes(0, 4) == 0
+
+    def test_matches_rendered_text(self):
+        buf = io.StringIO()
+        writer = FixedWidthWriter(buf, width=6)
+        writer.write_link(1, 2)
+        writer.write_group([1, 2, 3, 4])
+        assert len(buf.getvalue()) == line_bytes(2, 6) + line_bytes(4, 6)
+        assert writer.bytes_written == len(buf.getvalue())
+
+
+class TestWidthFor:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (10, 1), (11, 2), (1000, 3), (10**6, 6)])
+    def test_widths(self, n, expected):
+        assert width_for(n) == expected
+
+    def test_zero_points(self):
+        assert width_for(0) == 1
+
+
+class TestWriter:
+    def test_zero_padding(self):
+        buf = io.StringIO()
+        FixedWidthWriter(buf, width=4).write_link(1, 23)
+        assert buf.getvalue() == "0001 0023\n"
+
+    def test_group_format_matches_paper(self):
+        buf = io.StringIO()
+        FixedWidthWriter(buf, width=4).write_group([1, 2, 3])
+        assert buf.getvalue() == "0001 0002 0003\n"
+
+    def test_group_pair(self):
+        buf = io.StringIO()
+        FixedWidthWriter(buf, width=2).write_group_pair([1], [2, 3])
+        assert buf.getvalue() == "01 | 02 03\n"
+
+    def test_batched_links(self):
+        buf = io.StringIO()
+        writer = FixedWidthWriter(buf, width=3)
+        writer.write_links([1, 2], [5, 6])
+        assert buf.getvalue() == "001 005\n002 006\n"
+        assert writer.bytes_written == 16
+
+    def test_empty_group_ignored(self):
+        buf = io.StringIO()
+        writer = FixedWidthWriter(buf, width=3)
+        writer.write_group([])
+        assert buf.getvalue() == ""
+        assert writer.bytes_written == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            FixedWidthWriter(io.StringIO(), width=0)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with FixedWidthWriter(path, width=5) as writer:
+            writer.write_link(3, 7)
+            writer.write_group([1, 2, 9])
+            writer.write_group_pair([0, 1], [5])
+            expected_bytes = writer.bytes_written
+        import os
+
+        assert os.path.getsize(path) == expected_bytes
+        links, groups, pairs = read_output(path)
+        assert links == [(3, 7)]
+        assert groups == [(1, 2, 9)]
+        assert pairs == [((0, 1), (5,))]
+
+
+class TestReadOutput:
+    def test_reads_stream(self):
+        text = "001 002\n003 004 005\n\n001 | 006 007\n"
+        links, groups, pairs = read_output(io.StringIO(text))
+        assert links == [(1, 2)]
+        assert groups == [(3, 4, 5)]
+        assert pairs == [((1,), (6, 7))]
+
+    def test_blank_lines_skipped(self):
+        links, groups, pairs = read_output(io.StringIO("\n\n"))
+        assert links == [] and groups == [] and pairs == []
