@@ -52,6 +52,13 @@ from repro.core import (
     spatial_join,
     ssj,
 )
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointCorruptError,
+    InvalidInputError,
+    ReproError,
+    SinkIOError,
+)
 from repro.geometry import MBR, Ball, Metric, get_metric
 from repro.index import (
     MTree,
@@ -61,6 +68,14 @@ from repro.index import (
     bulk_load,
     load_index,
     save_index,
+)
+from repro.resilience import (
+    AtomicTextSink,
+    Budget,
+    CheckpointedJoin,
+    FlakyIndex,
+    FlakySink,
+    RetryingSink,
 )
 from repro.stats import JoinStats, correlation_dimension
 
@@ -114,4 +129,16 @@ __all__ = [
     "bulk_load",
     "save_index",
     "load_index",
+    # errors and resilience
+    "ReproError",
+    "InvalidInputError",
+    "BudgetExceededError",
+    "SinkIOError",
+    "CheckpointCorruptError",
+    "Budget",
+    "CheckpointedJoin",
+    "AtomicTextSink",
+    "RetryingSink",
+    "FlakySink",
+    "FlakyIndex",
 ]

@@ -16,7 +16,7 @@ For repeated joins over the same data build the index once with
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -27,7 +27,11 @@ from repro.core.egrid import egrid_join
 from repro.core.partitioned import pbsm_join
 from repro.core.results import JoinResult, JoinSink
 from repro.core.ssj import ssj as _ssj
+from repro.errors import InvalidInputError, validate_eps, validate_points
 from repro.index import SpatialIndex, bulk_load, get_index_class
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
 
 __all__ = ["build_index", "similarity_join", "spatial_join_datasets"]
 
@@ -50,6 +54,7 @@ def build_index(
     """
     if isinstance(index, SpatialIndex):
         return index
+    points = validate_points(points)
     cls = get_index_class(index)
     from repro.index.rtree import RTree
 
@@ -71,6 +76,7 @@ def similarity_join(
     sink: Optional[JoinSink] = None,
     max_entries: int = 64,
     bulk: Optional[str] = "str",
+    budget: Optional["Budget"] = None,
 ) -> JoinResult:
     """Similarity self-join of ``points`` with query range ``eps``.
 
@@ -86,24 +92,42 @@ def similarity_join(
 
     Tree algorithms build the index named by ``index`` (bulk-loaded with
     ``bulk`` by default); pass a prebuilt index to amortise that cost.
+
+    Inputs are validated here — empty, non-2-D or non-finite point arrays
+    and non-positive ranges raise
+    :class:`~repro.errors.InvalidInputError` before any tree code runs.
+    ``budget`` bounds the run cooperatively; see
+    :class:`~repro.resilience.budget.Budget`.
     """
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+    points = validate_points(points)
+    eps = validate_eps(eps)
+    if g < 0:
+        raise InvalidInputError(f"window size g must be >= 0, got {g}")
     if algorithm == "egrid":
-        return egrid_join(points, eps, compact=False, sink=sink, metric=metric)
+        return egrid_join(
+            points, eps, compact=False, sink=sink, metric=metric, budget=budget
+        )
     if algorithm == "egrid-csj":
-        return egrid_join(points, eps, compact=True, g=g, sink=sink, metric=metric)
+        return egrid_join(
+            points, eps, compact=True, g=g, sink=sink, metric=metric, budget=budget
+        )
     if algorithm == "pbsm":
-        return pbsm_join(points, eps, compact=False, sink=sink, metric=metric)
+        return pbsm_join(
+            points, eps, compact=False, sink=sink, metric=metric, budget=budget
+        )
     if algorithm == "pbsm-csj":
-        return pbsm_join(points, eps, compact=True, g=g, sink=sink, metric=metric)
+        return pbsm_join(
+            points, eps, compact=True, g=g, sink=sink, metric=metric, budget=budget
+        )
     tree = build_index(points, index, metric=metric, max_entries=max_entries, bulk=bulk)
     if algorithm == "ssj":
-        return _ssj(tree, eps, sink=sink)
+        return _ssj(tree, eps, sink=sink, budget=budget)
     if algorithm == "ncsj":
-        return _ncsj(tree, eps, sink=sink)
-    return _csj(tree, eps, g=g, sink=sink)
+        return _ncsj(tree, eps, sink=sink, budget=budget)
+    return _csj(tree, eps, g=g, sink=sink, budget=budget)
 
 
 def spatial_join_datasets(

@@ -60,6 +60,30 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--verify", action="store_true", help="check losslessness vs brute force"
     )
+    join.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="journal progress to PATH for crash-safe, resumable execution "
+        "(requires --output)",
+    )
+    join.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted checkpointed run instead of starting over",
+    )
+    join.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="abort cleanly once this much wall-clock time has elapsed",
+    )
+    join.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="abort cleanly once the output exceeds N bytes "
+        "(SSJ falls back to the analytic estimate instead)",
+    )
 
     experiment = sub.add_parser("experiment", help="reproduce a paper artifact")
     experiment.add_argument(
@@ -106,22 +130,51 @@ def _cmd_join(args: argparse.Namespace) -> int:
     from repro.core.results import TextSink
     from repro.core.verify import check_equivalence
     from repro.io.writer import width_for
+    from repro.resilience.budget import Budget
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("csj join: --resume requires --checkpoint")
+    if args.checkpoint and not args.output:
+        raise SystemExit("csj join: --checkpoint requires --output")
+
+    budget = None
+    if args.deadline is not None or args.max_bytes is not None:
+        budget = Budget(
+            deadline_seconds=args.deadline, max_output_bytes=args.max_bytes
+        )
 
     points = _load_points(args)
-    sink = None
-    if args.output:
-        sink = TextSink(args.output, id_width=width_for(len(points)))
-    result = similarity_join(
-        points,
-        args.eps,
-        algorithm=args.algorithm,
-        g=args.g,
-        index=args.index,
-        metric=args.metric,
-        sink=sink,
-    )
-    if sink is not None:
-        sink.close()
+    if args.checkpoint:
+        from repro.resilience.checkpoint import CheckpointedJoin
+
+        job = CheckpointedJoin(
+            points,
+            args.eps,
+            args.output,
+            algorithm=args.algorithm,
+            g=args.g,
+            index=args.index,
+            metric=args.metric,
+            journal_path=args.checkpoint,
+            budget=budget,
+        )
+        result = job.run(resume=args.resume)
+    else:
+        sink = None
+        if args.output:
+            sink = TextSink(args.output, id_width=width_for(len(points)))
+        result = similarity_join(
+            points,
+            args.eps,
+            algorithm=args.algorithm,
+            g=args.g,
+            index=args.index,
+            metric=args.metric,
+            sink=sink,
+            budget=budget,
+        )
+        if sink is not None:
+            sink.close()
     stats = result.stats
     print(f"algorithm      : {result.algorithm}")
     print(f"points         : {len(points)} x {points.shape[1]}")
@@ -133,8 +186,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
     print(f"distance comps : {stats.distance_computations}")
     print(f"total time     : {stats.total_time:.3f}s "
           f"(compute {stats.compute_time:.3f}s + write {stats.write_time:.3f}s)")
+    if getattr(result, "estimated", False):
+        print("NOTE: output exceeded the byte budget; figures above are "
+              "the paper's analytic estimate, no exact output was written")
     if args.output:
         print(f"output file    : {args.output}")
+    if args.checkpoint:
+        print(f"checkpoint     : {args.checkpoint}")
     if args.verify:
         report = check_equivalence(points, args.eps, result, metric=args.metric)
         print(f"verification   : {report!r}")
@@ -228,15 +286,30 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Failures map to distinct nonzero exit codes (see
+    :mod:`repro.errors`): invalid input 2, budget exceeded 3, sink I/O 4,
+    corrupt checkpoint/index file 5, any other error 1 — with a one-line
+    message on stderr instead of a traceback.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "join":
-        return _cmd_join(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "cluster":
-        return _cmd_cluster(args)
-    return _cmd_demo(args)
+    try:
+        if args.command == "join":
+            return _cmd_join(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
+        return _cmd_demo(args)
+    except ReproError as exc:
+        print(f"csj: error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        print(f"csj: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -25,17 +25,21 @@ for randomised inputs.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.groups import GroupBuffer
 from repro.core.results import CollectSink, JoinResult, JoinSink
+from repro.errors import BudgetExceededError
 from repro.index.base import IndexNode, SpatialIndex
 from repro.index.rtree import RectNode
 from repro.io.pagesim import NodePager
 from repro.io.writer import width_for
 from repro.stats.counters import JoinStats
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
 
 __all__ = ["csj", "ncsj"]
 
@@ -46,6 +50,7 @@ def csj(
     g: int = 10,
     sink: Optional[JoinSink] = None,
     pager: Optional[NodePager] = None,
+    budget: Optional["Budget"] = None,
     _algorithm_label: Optional[str] = None,
 ) -> JoinResult:
     """Run the compact similarity join CSJ(g) on ``tree``.
@@ -54,6 +59,12 @@ def csj(
     (Figure 6).  ``g = 0`` degenerates to N-CSJ.  Returns a
     :class:`~repro.core.results.JoinResult` whose groups and links together
     imply exactly the SSJ output (Theorems 1 and 2).
+
+    A breached ``budget`` stops the run cleanly: the in-flight group
+    window is flushed first, so the sink holds a valid prefix of the
+    output (every emitted link and group individually correct), which is
+    attached to the raised :class:`~repro.errors.BudgetExceededError` as
+    ``exc.partial``.
     """
     if eps <= 0:
         raise ValueError(f"query range must be positive, got {eps}")
@@ -62,11 +73,23 @@ def csj(
     if sink is None:
         sink = CollectSink(id_width=width_for(tree.size))
     label = _algorithm_label or (f"csj({g})" if g else "ncsj")
-    runner = _CSJRunner(tree, float(eps), int(g), sink, pager)
+    runner = _CSJRunner(tree, float(eps), int(g), sink, pager, budget)
+    if budget is not None:
+        budget.start()
     start = time.perf_counter()
-    if tree.root is not None and tree.size > 1:
-        runner.join_node(tree.root)
-    runner.buffer.flush()
+    try:
+        if tree.root is not None and tree.size > 1:
+            runner.join_node(tree.root)
+        runner.buffer.flush()
+    except BudgetExceededError as exc:
+        runner.buffer.flush()
+        elapsed = time.perf_counter() - start
+        stats = sink.stats
+        stats.compute_time += elapsed - stats.write_time
+        exc.partial = JoinResult.from_sink(
+            sink, eps=eps, algorithm=label, g=g, index_name=type(tree).name
+        )
+        raise
     elapsed = time.perf_counter() - start
     stats = sink.stats
     stats.compute_time += elapsed - stats.write_time
@@ -83,13 +106,17 @@ def ncsj(
     eps: float,
     sink: Optional[JoinSink] = None,
     pager: Optional[NodePager] = None,
+    budget: Optional["Budget"] = None,
 ) -> JoinResult:
     """Run the naive compact similarity join N-CSJ on ``tree``.
 
     Early stopping on tree nodes only; links that cross nodes are written
     individually, exactly like SSJ (Section IV-B).
     """
-    return csj(tree, eps, g=0, sink=sink, pager=pager, _algorithm_label="ncsj")
+    return csj(
+        tree, eps, g=0, sink=sink, pager=pager, budget=budget,
+        _algorithm_label="ncsj",
+    )
 
 
 class _CSJRunner:
@@ -102,6 +129,7 @@ class _CSJRunner:
         g: int,
         sink: JoinSink,
         pager: Optional[NodePager],
+        budget: Optional["Budget"] = None,
     ):
         self.points = tree.points
         self.metric = tree.metric
@@ -110,6 +138,7 @@ class _CSJRunner:
         self.sink = sink
         self.stats: JoinStats = sink.stats
         self.pager = pager
+        self.budget = budget
         dim = tree.points.shape[1] if tree.points.ndim == 2 else None
         self.buffer = GroupBuffer(
             g, eps, sink, metric=tree.metric, stats=sink.stats, dim=dim
@@ -157,6 +186,8 @@ class _CSJRunner:
     # ------------------------------------------------------------------
     def join_node(self, node: IndexNode) -> None:
         self.stats.nodes_visited += 1
+        if self.budget is not None:
+            self.budget.check(self.stats)
         if self.pager is not None:
             self.pager.visit(node)
         # Early stop (line 2): the whole subtree is one group.
@@ -181,6 +212,8 @@ class _CSJRunner:
     # ------------------------------------------------------------------
     def join_pair(self, n1: IndexNode, n2: IndexNode) -> None:
         self.stats.node_pairs_visited += 1
+        if self.budget is not None:
+            self.budget.check(self.stats)
         if self.pager is not None:
             self.pager.visit(n1)
             self.pager.visit(n2)

@@ -25,14 +25,18 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.groups import GroupBuffer
 from repro.core.results import CollectSink, JoinResult, JoinSink
+from repro.errors import BudgetExceededError
 from repro.geometry.metrics import Metric, get_metric
 from repro.io.writer import width_for
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
 
 __all__ = ["egrid_join", "egrid_sorted_join", "grid_cells", "epsilon_grid_order"]
 
@@ -81,6 +85,7 @@ def egrid_join(
     g: int = 10,
     sink: Optional[JoinSink] = None,
     metric: Optional[Metric] = None,
+    budget: Optional["Budget"] = None,
 ) -> JoinResult:
     """Similarity self-join via the epsilon grid order.
 
@@ -103,18 +108,32 @@ def egrid_join(
         g if compact else 0, eps, sink, metric=m, stats=stats, dim=pts.shape[1]
     )
 
+    if budget is not None:
+        budget.start()
     start_time = time.perf_counter()
     cells = grid_cells(pts, eps)
     offsets = _positive_neighbour_offsets(pts.shape[1])
 
-    for key, ids in cells.items():
-        _join_cell_self(pts, ids, eps, m, compact, buffer, sink, stats)
-        for offset in offsets:
-            neighbour = tuple(k + o for k, o in zip(key, offset))
-            other = cells.get(neighbour)
-            if other is not None:
-                _join_cell_pair(pts, ids, other, eps, m, compact, buffer, sink, stats)
-    buffer.flush()
+    try:
+        for key, ids in cells.items():
+            if budget is not None:
+                budget.check(stats)
+            _join_cell_self(pts, ids, eps, m, compact, buffer, sink, stats)
+            for offset in offsets:
+                neighbour = tuple(k + o for k, o in zip(key, offset))
+                other = cells.get(neighbour)
+                if other is not None:
+                    _join_cell_pair(pts, ids, other, eps, m, compact, buffer, sink, stats)
+        buffer.flush()
+    except BudgetExceededError as exc:
+        buffer.flush()
+        stats.compute_time += time.perf_counter() - start_time - stats.write_time
+        label = (f"egrid-csj({g})" if g else "egrid-ncsj") if compact else "egrid"
+        exc.partial = JoinResult.from_sink(
+            sink, eps=eps, algorithm=label, g=g if compact else None,
+            index_name="egrid",
+        )
+        raise
     stats.compute_time += time.perf_counter() - start_time - stats.write_time
     label = (f"egrid-csj({g})" if g else "egrid-ncsj") if compact else "egrid"
     return JoinResult.from_sink(

@@ -24,14 +24,18 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.groups import GroupBuffer
 from repro.core.results import CollectSink, JoinResult, JoinSink
+from repro.errors import BudgetExceededError
 from repro.geometry.metrics import Metric, get_metric
 from repro.io.writer import width_for
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
 
 __all__ = ["pbsm_join", "spatial_hash_join"]
 
@@ -48,6 +52,7 @@ def pbsm_join(
     g: int = 10,
     sink: Optional[JoinSink] = None,
     metric: object = None,
+    budget: Optional["Budget"] = None,
 ) -> JoinResult:
     """PBSM similarity self-join with replication and reference-point
     de-duplication.
@@ -66,6 +71,8 @@ def pbsm_join(
     stats = sink.stats
     buffer = GroupBuffer(g if compact else 0, eps, sink, metric=m, stats=stats, dim=dim)
 
+    if budget is not None:
+        budget.start()
     start_time = time.perf_counter()
     if n > 1:
         if partitions_per_axis is None:
@@ -95,12 +102,24 @@ def pbsm_join(
         home_of = np.floor((pts - lo) / cell).astype(np.int64)
         np.clip(home_of, 0, partitions_per_axis - 1, out=home_of)
 
-        for key in sorted(cells):
-            ids = np.asarray(cells[key], dtype=np.intp)
-            _join_partition(
-                pts, ids, np.asarray(key), home_of, eps, m,
-                compact, buffer, sink, stats,
+        try:
+            for key in sorted(cells):
+                if budget is not None:
+                    budget.check(stats)
+                ids = np.asarray(cells[key], dtype=np.intp)
+                _join_partition(
+                    pts, ids, np.asarray(key), home_of, eps, m,
+                    compact, buffer, sink, stats,
+                )
+        except BudgetExceededError as exc:
+            buffer.flush()
+            stats.compute_time += time.perf_counter() - start_time - stats.write_time
+            label = (f"pbsm-csj({g})" if g else "pbsm-ncsj") if compact else "pbsm"
+            exc.partial = JoinResult.from_sink(
+                sink, eps=eps, algorithm=label, g=g if compact else None,
+                index_name="pbsm",
             )
+            raise
     buffer.flush()
     stats.compute_time += time.perf_counter() - start_time - stats.write_time
     label = (f"pbsm-csj({g})" if g else "pbsm-ncsj") if compact else "pbsm"

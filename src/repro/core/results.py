@@ -18,13 +18,14 @@ measurable with any sink.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.io.writer import FixedWidthWriter, line_bytes
+from repro.io.writer import FixedWidthWriter, line_bytes, read_output
 from repro.stats.counters import JoinStats
 
 __all__ = [
@@ -250,6 +251,8 @@ class TextSink(JoinSink):
     def __init__(self, target, stats: Optional[JoinStats] = None, id_width: int = 8):
         super().__init__(stats, id_width)
         self._writer = FixedWidthWriter(target, width=id_width)
+        #: Destination path (``None`` when writing to an open stream).
+        self.path = self._writer.path
 
     def _store_link(self, i: int, j: int) -> None:
         self._writer.write_link(i, j)
@@ -293,6 +296,12 @@ class JoinResult:
     stats: JoinStats = field(default_factory=JoinStats)
     g: Optional[int] = None
     index_name: Optional[str] = None
+    #: True when the run was replaced by the analytic estimator (the
+    #: paper's crash protocol): counters are predictions, not measurements.
+    estimated: bool = False
+    #: Path of the output text file when the run used a file sink; lets
+    #: :meth:`expanded_links` verify file-backed runs too.
+    output_path: Optional[str] = None
 
     @classmethod
     def from_sink(
@@ -311,6 +320,8 @@ class JoinResult:
             result.links = sink.links
             result.groups = sink.groups
             result.group_pairs = sink.group_pairs
+        else:
+            result.output_path = getattr(sink, "path", None)
         return result
 
     # -- derived quantities ---------------------------------------------------
@@ -323,16 +334,25 @@ class JoinResult:
         """All links the output *implies* (Theorems 1 and 2).
 
         Explicit links, every pair within each group, and every cross pair
-        of each group pair, as canonical ``(min, max)`` tuples.
+        of each group pair, as canonical ``(min, max)`` tuples.  A run
+        that streamed to a file sink carries no in-memory payload; its
+        output file (:attr:`output_path`) is parsed instead.
         """
+        links, groups, group_pairs = self.links, self.groups, self.group_pairs
+        if (
+            not (links or groups or group_pairs)
+            and self.output_path is not None
+            and os.path.exists(self.output_path)
+        ):
+            links, groups, group_pairs = read_output(self.output_path)
         expanded: set[tuple[int, int]] = set(
-            normalized_link(i, j) for i, j in self.links
+            normalized_link(i, j) for i, j in links
         )
-        for ids in self.groups:
+        for ids in groups:
             for a in range(len(ids)):
                 for b in range(a + 1, len(ids)):
                     expanded.add(normalized_link(ids[a], ids[b]))
-        for ids_a, ids_b in self.group_pairs:
+        for ids_a, ids_b in group_pairs:
             for a in ids_a:
                 for b in ids_b:
                     if a != b:
@@ -371,6 +391,7 @@ class JoinResult:
             "compute_time": self.stats.compute_time,
             "write_time": self.stats.write_time,
             "total_time": self.stats.total_time,
+            "estimated": self.estimated,
         }
 
     def __repr__(self) -> str:

@@ -15,15 +15,19 @@ leaf or leaf pair), but the logical distance-computation count recorded in
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.results import CollectSink, JoinResult, JoinSink
+from repro.errors import BudgetExceededError
 from repro.index.base import IndexNode, SpatialIndex
 from repro.io.pagesim import NodePager
 from repro.io.writer import width_for
 from repro.stats.counters import JoinStats
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
 
 __all__ = ["ssj"]
 
@@ -33,21 +37,43 @@ def ssj(
     eps: float,
     sink: Optional[JoinSink] = None,
     pager: Optional[NodePager] = None,
+    budget: Optional["Budget"] = None,
 ) -> JoinResult:
     """Run the standard similarity join on ``tree`` with range ``eps``.
 
     Every qualifying pair is written to ``sink`` as an individual link.
     Returns a :class:`~repro.core.results.JoinResult`; when ``sink`` is
     omitted a collecting sink is used and the result carries the links.
+
+    ``budget`` bounds the run cooperatively.  An output-byte breach
+    *degrades gracefully*: instead of dying mid-explosion (the paper's
+    SSJ crashes, Section VI), the run switches to the analytic estimator
+    and returns a result flagged ``estimated=True``.  Any other breach
+    (deadline, group cap) raises
+    :class:`~repro.errors.BudgetExceededError` with the valid partial
+    result attached as ``exc.partial``.
     """
     if eps <= 0:
         raise ValueError(f"query range must be positive, got {eps}")
     if sink is None:
         sink = CollectSink(id_width=width_for(tree.size))
-    runner = _SSJRunner(tree, float(eps), sink, pager)
+    runner = _SSJRunner(tree, float(eps), sink, pager, budget)
+    if budget is not None:
+        budget.start()
     start = time.perf_counter()
-    if tree.root is not None and tree.size > 1:
-        runner.join_node(tree.root)
+    try:
+        if tree.root is not None and tree.size > 1:
+            runner.join_node(tree.root)
+    except BudgetExceededError as exc:
+        elapsed = time.perf_counter() - start
+        stats = sink.stats
+        stats.compute_time += elapsed - stats.write_time
+        if exc.kind == "output_bytes":
+            return _estimated_fallback(tree, eps, sink, stats)
+        exc.partial = JoinResult.from_sink(
+            sink, eps=eps, algorithm="ssj", index_name=type(tree).name
+        )
+        raise
     elapsed = time.perf_counter() - start
     stats = sink.stats
     stats.compute_time += elapsed - stats.write_time
@@ -56,6 +82,33 @@ def ssj(
         stats.cache_hits += pager.cache.hits
     return JoinResult.from_sink(
         sink, eps=eps, algorithm="ssj", index_name=type(tree).name
+    )
+
+
+def _estimated_fallback(tree: SpatialIndex, eps: float, sink: JoinSink, partial_stats):
+    """The paper's crash protocol as a first-class mechanism.
+
+    The exact link count is obtained cheaply (dual-tree counting, no pair
+    materialisation) and the output size follows from the fixed-width
+    format; the returned result carries ``estimated=True`` so tables can
+    mark it like the paper's "full, black shapes".
+    """
+    from repro.experiments.estimate import estimate_ssj  # deferred: no cycle
+
+    estimate = estimate_ssj(tree.points, eps, sink.id_width, metric=tree.metric)
+    stats = JoinStats()
+    stats.links_emitted = estimate.links
+    stats.bytes_written = estimate.output_bytes
+    # Keep the honest measurements made before the breach.
+    stats.compute_time = partial_stats.compute_time
+    stats.write_time = partial_stats.write_time
+    stats.distance_computations = partial_stats.distance_computations
+    return JoinResult(
+        eps=eps,
+        algorithm="ssj",
+        stats=stats,
+        index_name=type(tree).name,
+        estimated=True,
     )
 
 
@@ -68,6 +121,7 @@ class _SSJRunner:
         eps: float,
         sink: JoinSink,
         pager: Optional[NodePager],
+        budget: Optional["Budget"] = None,
     ):
         self.points = tree.points
         self.metric = tree.metric
@@ -75,10 +129,13 @@ class _SSJRunner:
         self.sink = sink
         self.stats: JoinStats = sink.stats
         self.pager = pager
+        self.budget = budget
 
     # -- simJoin(TreeNode n), Figure 3 lines 1-18 (without the italics) ----
     def join_node(self, node: IndexNode) -> None:
         self.stats.nodes_visited += 1
+        if self.budget is not None:
+            self.budget.check(self.stats)
         if self.pager is not None:
             self.pager.visit(node)
         if node.is_leaf:
@@ -96,6 +153,8 @@ class _SSJRunner:
     # -- simJoin(TreeNode n1, n2), Figure 3 lines 19-41 ---------------------
     def join_pair(self, n1: IndexNode, n2: IndexNode) -> None:
         self.stats.node_pairs_visited += 1
+        if self.budget is not None:
+            self.budget.check(self.stats)
         if self.pager is not None:
             self.pager.visit(n1)
             self.pager.visit(n2)

@@ -1,0 +1,132 @@
+"""Typed exception hierarchy and input validation.
+
+Every failure the library raises deliberately derives from
+:class:`ReproError`, so callers (and the CLI) can catch one base class and
+map each failure kind to a meaningful exit code instead of letting a deep
+``IndexError`` or an unpickling traceback leak out.  Each subclass also
+keeps compatibility with the builtin exception callers historically
+caught: :class:`InvalidInputError` is a ``ValueError``,
+:class:`BudgetExceededError` a ``RuntimeError``, and :class:`SinkIOError`
+an ``OSError``.
+
+:func:`validate_points` and :func:`validate_eps` enforce the input
+contract (2-D finite float array, positive finite range) at the public
+API boundary — the tree and grid internals may assume clean input.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ReproError",
+    "InvalidInputError",
+    "BudgetExceededError",
+    "SinkIOError",
+    "CheckpointCorruptError",
+    "validate_points",
+    "validate_eps",
+]
+
+
+class ReproError(Exception):
+    """Base class for all deliberate library failures.
+
+    ``exit_code`` is the process exit status the CLI maps the failure to.
+    """
+
+    exit_code = 1
+
+
+class InvalidInputError(ReproError, ValueError):
+    """The caller's input violates the API contract.
+
+    Raised for empty or non-2-D point arrays, NaN/inf coordinates,
+    non-numeric dtypes, and non-positive query ranges.
+    """
+
+    exit_code = 2
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A resource budget was breached during a join run.
+
+    ``kind`` names the breached dimension (``"deadline"``,
+    ``"output_bytes"`` or ``"groups"``); ``limit`` and ``actual`` quantify
+    it.  When the run produced durable partial output before stopping, the
+    raiser attaches it as :attr:`partial` (a
+    :class:`~repro.core.results.JoinResult` holding a valid prefix of the
+    full output — Theorem 2 still holds for every emitted link and group).
+    """
+
+    def __init__(self, kind: str, limit: float, actual: float, message: Optional[str] = None):
+        self.kind = kind
+        self.limit = limit
+        self.actual = actual
+        #: Partial result (valid output prefix), attached by the algorithm.
+        self.partial = None
+        super().__init__(
+            message or f"{kind} budget exceeded: {actual:g} > limit {limit:g}"
+        )
+
+    exit_code = 3
+
+
+class SinkIOError(ReproError, OSError):
+    """Writing join output failed and retries (if any) were exhausted."""
+
+    exit_code = 4
+
+
+class CheckpointCorruptError(ReproError):
+    """A persisted artifact (index file or join journal) failed to load.
+
+    ``path`` is the offending file.  Raised instead of whatever low-level
+    exception the truncated or corrupt bytes produced.
+    """
+
+    def __init__(self, path: str, reason: str = "corrupt or truncated file"):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+    exit_code = 5
+
+
+def validate_points(points: object, name: str = "points") -> np.ndarray:
+    """Validate and normalise a point array at the API boundary.
+
+    Returns the input as a float64 ``(n, d)`` array.  Raises
+    :class:`InvalidInputError` for non-numeric dtypes, wrong rank, empty
+    arrays, and non-finite coordinates.
+    """
+    try:
+        arr = np.asarray(points, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise InvalidInputError(f"{name} must be numeric: {exc}") from None
+    if arr.ndim != 2:
+        raise InvalidInputError(
+            f"{name} must be a 2-D (n, d) array, got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise InvalidInputError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        bad = int(np.flatnonzero(~np.isfinite(arr).all(axis=1))[0])
+        raise InvalidInputError(
+            f"{name} contains NaN or infinite coordinates (first bad row: {bad})"
+        )
+    return arr
+
+
+def validate_eps(eps: float, name: str = "eps") -> float:
+    """Validate a query range: a positive, finite number."""
+    try:
+        value = float(eps)
+    except (TypeError, ValueError) as exc:
+        raise InvalidInputError(f"{name} must be a number: {exc}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise InvalidInputError(f"{name} must be positive and finite, got {eps!r}")
+    return value

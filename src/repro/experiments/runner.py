@@ -20,9 +20,11 @@ import numpy as np
 from repro.core.csj import csj
 from repro.core.results import CountingSink, JoinResult, TextSink
 from repro.core.ssj import ssj
+from repro.errors import BudgetExceededError
 from repro.experiments.estimate import RuntimeCalibration, estimate_ssj
 from repro.index import SpatialIndex
 from repro.io.writer import width_for
+from repro.resilience.budget import Budget
 
 __all__ = [
     "DEFAULT_QUERY_RANGES",
@@ -64,8 +66,14 @@ class ExperimentConfig:
     #: Repetitions per measurement (paper: 25; default lighter).
     iterations: int = 3
     #: SSJ runs whose exact output would exceed this many bytes are
-    #: estimated instead of executed (the paper's crashed points).
+    #: estimated instead of executed (the paper's crashed points).  The
+    #: same cap is enforced *during* the run via a
+    #: :class:`~repro.resilience.budget.Budget`, so a mis-estimated run
+    #: degrades to the estimator instead of exploding.
     ssj_byte_budget: int = 40_000_000
+    #: Optional wall-clock deadline per single run (seconds); a breach
+    #: reports the partial measurements instead of hanging the sweep.
+    deadline_seconds: Optional[float] = None
     #: Write output to a real file (TextSink) instead of counting only.
     write_output: bool = False
     #: Directory for TextSink files when ``write_output`` is set.
@@ -139,21 +147,32 @@ def run_algorithm(
     best: Optional[JoinResult] = None
     for iteration in range(max(1, config.iterations)):
         sink = _make_sink(config, n, f"{algorithm}_{eps:g}_{iteration}")
-        if algorithm == "ssj":
-            result = ssj(tree, eps, sink=sink)
-        elif algorithm == "ncsj":
-            result = csj(tree, eps, g=0, sink=sink, _algorithm_label="ncsj")
-        elif algorithm == "csj":
-            result = csj(tree, eps, g=g, sink=sink)
-        else:
-            raise ValueError(f"unknown algorithm {algorithm!r}")
+        budget = Budget(
+            deadline_seconds=config.deadline_seconds,
+            max_output_bytes=config.ssj_byte_budget if algorithm == "ssj" else None,
+        )
+        try:
+            if algorithm == "ssj":
+                result = ssj(tree, eps, sink=sink, budget=budget)
+            elif algorithm == "ncsj":
+                result = csj(
+                    tree, eps, g=0, sink=sink, budget=budget,
+                    _algorithm_label="ncsj",
+                )
+            elif algorithm == "csj":
+                result = csj(tree, eps, g=g, sink=sink, budget=budget)
+            else:
+                raise ValueError(f"unknown algorithm {algorithm!r}")
+        except BudgetExceededError as exc:
+            # Deadline breach: report the valid partial measurements
+            # rather than hanging the sweep (SSJ byte breaches never land
+            # here — they degrade to the estimator inside ssj()).
+            result = exc.partial
         sink.close()
         if best is None or result.stats.total_time < best.stats.total_time:
             best = result
 
-    row = best.summary()
-    row["estimated"] = False
-    return row
+    return best.summary()
 
 
 def run_suite(

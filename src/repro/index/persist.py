@@ -16,10 +16,12 @@ carry a Python callable and must be rebuilt instead.
 
 from __future__ import annotations
 
+import zipfile
 from typing import Union
 
 import numpy as np
 
+from repro.errors import CheckpointCorruptError
 from repro.geometry.mbr import MBR
 from repro.geometry.metrics import get_metric
 from repro.index.base import SpatialIndex
@@ -30,6 +32,13 @@ from repro.index.rtree import RectNode, RTree
 __all__ = ["save_index", "load_index"]
 
 _CLASSES = {"rtree": RTree, "rstar": RStarTree, "mtree": MTree}
+
+#: Every array the format requires; a file missing any of them is corrupt.
+_REQUIRED_KEYS = (
+    "kind", "metric", "max_entries", "min_entries", "points", "deleted",
+    "levels", "parents", "entry_offsets", "entries", "rect_lo", "rect_hi",
+    "routers", "radii",
+)
 
 
 def save_index(tree: SpatialIndex, path: str) -> None:
@@ -99,25 +108,96 @@ def save_index(tree: SpatialIndex, path: str) -> None:
     )
 
 
+def _check_structure(
+    kind, points, levels, parents, entry_offsets, entries,
+    rect_lo, rect_hi, routers, radii,
+) -> None:
+    """Validate the flattened hierarchy before rebuilding nodes.
+
+    Raises ``ValueError`` (converted to ``CheckpointCorruptError`` by the
+    caller) so a truncated array set fails loudly instead of producing a
+    silently wrong tree.
+    """
+    n_nodes = len(levels)
+    if len(parents) != n_nodes:
+        raise ValueError(f"{n_nodes} levels but {len(parents)} parents")
+    if len(entry_offsets) != n_nodes + 1:
+        raise ValueError(
+            f"{n_nodes} nodes need {n_nodes + 1} entry offsets, "
+            f"got {len(entry_offsets)}"
+        )
+    if n_nodes and int(entry_offsets[-1]) != len(entries):
+        raise ValueError(
+            f"entry offsets end at {int(entry_offsets[-1])} "
+            f"but {len(entries)} entries stored"
+        )
+    if len(entries) and (
+        int(entries.min()) < 0 or int(entries.max()) >= len(points)
+    ):
+        raise ValueError("entry ids out of range of the point array")
+    for i in range(n_nodes):
+        parent = int(parents[i])
+        if (i == 0 and parent != -1) or (i > 0 and not 0 <= parent < i):
+            raise ValueError(f"node {i} has invalid pre-order parent {parent}")
+    if kind in ("rtree", "rstar"):
+        if len(rect_lo) != n_nodes or len(rect_hi) != n_nodes:
+            raise ValueError(
+                f"{n_nodes} nodes but {len(rect_lo)}/{len(rect_hi)} rectangles"
+            )
+    else:
+        if len(routers) != n_nodes or len(radii) != n_nodes:
+            raise ValueError(
+                f"{n_nodes} nodes but {len(routers)} routers / {len(radii)} radii"
+            )
+        if n_nodes and (
+            int(routers.min()) < 0 or int(routers.max()) >= len(points)
+        ):
+            raise ValueError("router ids out of range of the point array")
+
+
 def load_index(path: str) -> SpatialIndex:
-    """Restore a tree saved by :func:`save_index`."""
-    with np.load(path, allow_pickle=False) as data:
-        kind = str(data["kind"])
-        cls = _CLASSES.get(kind)
-        if cls is None:
-            raise ValueError(f"unknown index kind {kind!r} in {path}")
-        metric = get_metric(str(data["metric"]))
-        points = data["points"]
-        max_entries = int(data["max_entries"])
-        min_entries = int(data["min_entries"])
-        levels = data["levels"]
-        parents = data["parents"]
-        entry_offsets = data["entry_offsets"]
-        entries = data["entries"]
+    """Restore a tree saved by :func:`save_index`.
+
+    A truncated, garbled or structurally inconsistent file raises
+    :class:`~repro.errors.CheckpointCorruptError` naming the offending
+    path — never a bare unpickling/zip traceback.  A missing file still
+    raises ``FileNotFoundError`` (absence is not corruption), and an
+    intact file of an unknown index kind keeps its historical
+    ``ValueError``.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in _REQUIRED_KEYS}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, KeyError, ValueError, EOFError, OSError) as exc:
+        raise CheckpointCorruptError(path, f"unreadable index file: {exc}") from exc
+
+    kind = str(payload["kind"])
+    cls = _CLASSES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown index kind {kind!r} in {path}")
+    try:
+        metric = get_metric(str(payload["metric"]))
+        points = payload["points"]
+        max_entries = int(payload["max_entries"])
+        min_entries = int(payload["min_entries"])
+        levels = payload["levels"]
+        parents = payload["parents"]
+        entry_offsets = payload["entry_offsets"]
+        entries = payload["entries"]
         is_rect = kind in ("rtree", "rstar")
-        rect_lo, rect_hi = data["rect_lo"], data["rect_hi"]
-        routers, radii = data["routers"], data["radii"]
-        deleted = set(int(i) for i in data["deleted"])
+        rect_lo, rect_hi = payload["rect_lo"], payload["rect_hi"]
+        routers, radii = payload["routers"], payload["radii"]
+        deleted = set(int(i) for i in payload["deleted"])
+        _check_structure(
+            kind, points, levels, parents, entry_offsets, entries,
+            rect_lo, rect_hi, routers, radii,
+        )
+    except CheckpointCorruptError:
+        raise
+    except (TypeError, ValueError, IndexError, KeyError) as exc:
+        raise CheckpointCorruptError(path, f"inconsistent index file: {exc}") from exc
 
     tree = cls.__new__(cls)
     tree.points = points

@@ -14,6 +14,7 @@ can account bytes without materialising text.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence, TextIO, Union
 
 __all__ = ["FixedWidthWriter", "line_bytes", "read_output"]
@@ -51,15 +52,19 @@ class FixedWidthWriter:
     0001 0002 0003
     """
 
-    def __init__(self, target: Union[str, TextIO], width: int = 8):
+    def __init__(self, target: Union[str, TextIO], width: int = 8, mode: str = "w"):
         if width < 1:
             raise ValueError(f"width must be positive, got {width}")
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self.width = width
         self.bytes_written = 0
         if isinstance(target, (str, bytes)):
-            self._file: TextIO = open(target, "w", encoding="ascii")
+            self.path: Union[str, None] = os.fsdecode(target)
+            self._file: TextIO = open(target, mode, encoding="ascii")
             self._owns_file = True
         else:
+            self.path = None
             self._file = target
             self._owns_file = False
 
@@ -96,9 +101,27 @@ class FixedWidthWriter:
         self._file.write(line)
         self.bytes_written += len(line)
 
+    def sync(self) -> None:
+        """Flush buffers and force the bytes to stable storage (fsync).
+
+        In-memory targets (``StringIO``) flush only; the fsync is skipped
+        where the target has no file descriptor.
+        """
+        self._file.flush()
+        try:
+            fd = self._file.fileno()
+        except (AttributeError, OSError, ValueError):
+            return
+        os.fsync(fd)
+
+    def tell(self) -> int:
+        """Current byte offset in the underlying file (after a flush)."""
+        self._file.flush()
+        return self._file.tell()
+
     def close(self) -> None:
         """Close the underlying file if this writer opened it."""
-        if self._owns_file:
+        if self._owns_file and not self._file.closed:
             self._file.close()
 
     def __enter__(self) -> "FixedWidthWriter":

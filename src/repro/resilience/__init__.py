@@ -1,0 +1,37 @@
+"""Fault tolerance for long-running joins.
+
+The paper's own measurement protocol had to survive failure — SSJ crashes
+on dense configurations and the authors plot estimates instead (Section
+VI).  This package turns that ad-hoc fallback into first-class machinery:
+
+* :mod:`repro.resilience.budget` — cooperative resource guards
+  (wall-clock deadline, output-byte cap, group cap) threaded through every
+  join algorithm, with graceful degradation where a fallback exists;
+* :mod:`repro.resilience.sinks` — crash-safe output: atomic
+  write-fsync-rename publication and bounded-backoff retries around
+  transient I/O errors;
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointedJoin`, a
+  resumable driver that journals join progress (work-unit cursor, durable
+  sink offset, counters, in-flight group window) and restarts a killed
+  run without losing or duplicating a single link;
+* :mod:`repro.resilience.chaos` — deterministic fault injection
+  (:class:`FlakySink`, :class:`FlakyIndex`) so tests can prove recovery
+  end-to-end instead of hoping.
+"""
+
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import FailurePlan, FlakyIndex, FlakySink
+from repro.resilience.checkpoint import CheckpointedJoin, read_journal
+from repro.resilience.sinks import AtomicTextSink, DurableTextSink, RetryingSink
+
+__all__ = [
+    "AtomicTextSink",
+    "Budget",
+    "CheckpointedJoin",
+    "DurableTextSink",
+    "FailurePlan",
+    "FlakyIndex",
+    "FlakySink",
+    "RetryingSink",
+    "read_journal",
+]

@@ -1,0 +1,162 @@
+"""Deterministic fault injection for recovery testing.
+
+Real fault tolerance claims need failures on demand.  This module raises
+them *deterministically*: every injected failure comes from a seeded
+:class:`FailurePlan`, so a test that proves "run, crash at op 137,
+resume, byte-identical output" reproduces exactly under the same seed.
+
+* :class:`FlakySink` wraps any sink and raises ``OSError`` before
+  selected write operations — the write never happens, mimicking a full
+  disk or yanked volume at the syscall boundary.
+* :class:`FlakyIndex` wraps a tree and raises ``OSError`` on selected
+  node accesses, mimicking a failed page read while the join descends
+  the index.
+
+Both wrappers delegate everything else untouched, so a plan with no
+scheduled failures is an identity wrapper (tests assert this too).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.core.results import JoinSink
+from repro.index.base import IndexNode, SpatialIndex
+
+__all__ = ["FailurePlan", "FlakySink", "FlakyIndex"]
+
+
+class FailurePlan:
+    """A seeded schedule deciding which operation indices fail.
+
+    An operation fails when its index is in ``fail_at``, or with
+    probability ``rate`` drawn from a ``random.Random(seed)`` stream —
+    the same seed always yields the same failure sequence.  At most
+    ``max_failures`` failures are injected (unlimited when ``None``);
+    afterwards the plan is exhausted and everything succeeds, which lets
+    a retry loop demonstrably recover.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.0,
+        fail_at: Iterable[int] = (),
+        max_failures: Optional[int] = None,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self._rng = random.Random(seed)
+        self.rate = rate
+        self.fail_at = frozenset(int(i) for i in fail_at)
+        self.max_failures = max_failures
+        #: Operations observed and failures injected so far.
+        self.ops = 0
+        self.failures = 0
+
+    def tick(self, what: str = "operation") -> None:
+        """Account one operation; raise ``OSError`` if it is scheduled to fail."""
+        op = self.ops
+        self.ops += 1
+        # Draw unconditionally so the random stream position depends only
+        # on the op index, not on earlier outcomes.
+        roll = self._rng.random() if self.rate > 0.0 else 1.0
+        if self.max_failures is not None and self.failures >= self.max_failures:
+            return
+        if op in self.fail_at or roll < self.rate:
+            self.failures += 1
+            raise OSError(f"injected {what} failure (op {op}, seed plan)")
+
+
+class FlakySink(JoinSink):
+    """A sink whose writes fail on a deterministic schedule.
+
+    The failure is raised *before* delegating, so a failed operation
+    stores nothing and charges nothing — exactly the semantics a retry
+    wrapper or a resumed checkpoint run needs to recover losslessly.
+    """
+
+    def __init__(self, inner: JoinSink, plan: Optional[FailurePlan] = None, **plan_kwargs):
+        super().__init__(inner.stats, inner.id_width)
+        self.inner = inner
+        self.plan = plan if plan is not None else FailurePlan(**plan_kwargs)
+
+    def write_link(self, i: int, j: int) -> None:
+        self.plan.tick("sink write")
+        self.inner.write_link(i, j)
+
+    def write_link_raw(self, i: int, j: int) -> None:
+        self.plan.tick("sink write")
+        self.inner.write_link_raw(i, j)
+
+    def write_links(self, ids_i: Sequence[int], ids_j: Sequence[int]) -> None:
+        self.plan.tick("sink write")
+        self.inner.write_links(ids_i, ids_j)
+
+    def write_group(self, ids: Sequence[int]) -> None:
+        self.plan.tick("sink write")
+        self.inner.write_group(ids)
+
+    def write_group_pair(self, ids_a: Sequence[int], ids_b: Sequence[int]) -> None:
+        self.plan.tick("sink write")
+        self.inner.write_group_pair(ids_a, ids_b)
+
+    def close(self) -> None:
+        # Closing never fails: recovery tests need to release the file.
+        self.inner.close()
+
+
+class _FlakyNode:
+    """Node proxy that ticks the failure plan on child/entry access."""
+
+    __slots__ = ("_node", "_plan")
+
+    def __init__(self, node: IndexNode, plan: FailurePlan):
+        self._node = node
+        self._plan = plan
+
+    @property
+    def children(self):
+        self._plan.tick("index page read")
+        return [_FlakyNode(child, self._plan) for child in self._node.children]
+
+    @property
+    def entry_ids(self):
+        self._plan.tick("index page read")
+        return self._node.entry_ids
+
+    def __getattr__(self, attr: str):
+        return getattr(self._node, attr)
+
+    def __repr__(self) -> str:
+        return f"FlakyNode({self._node!r})"
+
+
+class FlakyIndex:
+    """A spatial index whose node accesses fail on a deterministic schedule.
+
+    Wraps a built tree; descending through :attr:`root` yields proxy
+    nodes that raise ``OSError`` when the plan schedules a failure on a
+    ``children`` / ``entry_ids`` access — a simulated failed page read.
+    All other attributes (``points``, ``metric``, ``size``, queries)
+    delegate to the wrapped tree.
+    """
+
+    name = "flaky"
+
+    def __init__(self, tree: SpatialIndex, plan: Optional[FailurePlan] = None, **plan_kwargs):
+        self._tree = tree
+        self.plan = plan if plan is not None else FailurePlan(**plan_kwargs)
+
+    @property
+    def root(self):
+        if self._tree.root is None:
+            return None
+        return _FlakyNode(self._tree.root, self.plan)
+
+    def __getattr__(self, attr: str):
+        return getattr(self._tree, attr)
+
+    def __repr__(self) -> str:
+        return f"FlakyIndex({self._tree!r}, failures={self.plan.failures})"

@@ -1,0 +1,553 @@
+"""Checkpointed, resumable join execution.
+
+The join algorithms are recursive, but their *output-producing work* is a
+deterministic, flat sequence of work units: leaf self-joins, leaf cross
+pairs, and (for the compact variants) early-stopped subtree groups, in
+the exact order the recursion of Figure 3 visits them.
+:class:`CheckpointedJoin` exploits that: it enumerates the work-unit
+sequence up front (a cheap pruned traversal — no distance computations),
+executes it unit by unit through the ordinary runners, and every
+``cadence`` units writes a *checkpoint* to a journal file:
+
+``(cursor, durable sink offset, counters, in-flight group window)``
+
+with the output file fsynced first, so the recorded offset is on stable
+storage before the record that cites it.  After a crash, ``resume=True``
+replays nothing and loses nothing: the journal's last valid record gives
+the cursor; the output file is truncated to the durable offset (cutting
+any torn tail the crash left); counters and the CSJ group window are
+restored; execution continues at the cursor.  Because the work-unit
+sequence, the group-window state and the fixed-width output format are
+all deterministic, a killed-and-resumed run produces a byte-identical
+output file to an uninterrupted one — the test suite proves this against
+brute force under injected faults.
+
+Journal format: one record per line, ``crc32-hex SPACE compact-json``.
+A torn final line (the classic crash artifact) simply fails its CRC and
+is ignored; anything structurally wrong raises
+:class:`~repro.errors.CheckpointCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import fields as dataclass_fields
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.csj import _CSJRunner
+from repro.core.egrid import (
+    _join_cell_pair,
+    _join_cell_self,
+    _positive_neighbour_offsets,
+    grid_cells,
+)
+from repro.core.groups import Group, GroupBuffer
+from repro.core.results import JoinResult
+from repro.core.ssj import _SSJRunner
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointCorruptError,
+    InvalidInputError,
+    validate_eps,
+    validate_points,
+)
+from repro.geometry.metrics import get_metric
+from repro.io.writer import width_for
+from repro.resilience.budget import Budget
+from repro.resilience.sinks import DurableTextSink
+from repro.stats.counters import JoinStats
+
+__all__ = ["CheckpointedJoin", "read_journal"]
+
+JOURNAL_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Journal records
+# ---------------------------------------------------------------------------
+
+def _encode_record(record: dict) -> str:
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(payload.encode("ascii")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def _decode_record(line: str) -> Optional[dict]:
+    line = line.rstrip("\n")
+    if len(line) < 10 or line[8] != " ":
+        return None
+    payload = line[9:]
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("ascii", "replace")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def read_journal(path: str) -> tuple[dict, Optional[dict]]:
+    """Read a checkpoint journal; returns ``(header, last_checkpoint)``.
+
+    A CRC-invalid line ends the durable prefix (everything after a torn
+    record is ignored — it was never acknowledged).  A missing file or a
+    missing/invalid header raises
+    :class:`~repro.errors.CheckpointCorruptError`.
+    """
+    if not os.path.exists(path):
+        raise CheckpointCorruptError(path, "journal not found (nothing to resume)")
+    header: Optional[dict] = None
+    last: Optional[dict] = None
+    with open(path, "r", encoding="ascii", errors="replace") as handle:
+        for lineno, line in enumerate(handle):
+            record = _decode_record(line)
+            if record is None:
+                if lineno == 0:
+                    raise CheckpointCorruptError(path, "journal header is corrupt")
+                break
+            if lineno == 0:
+                if record.get("type") != "header":
+                    raise CheckpointCorruptError(path, "first record is not a header")
+                if record.get("version") != JOURNAL_VERSION:
+                    raise CheckpointCorruptError(
+                        path, f"unsupported journal version {record.get('version')!r}"
+                    )
+                header = record
+            elif record.get("type") == "ckpt":
+                last = record
+    if header is None:
+        raise CheckpointCorruptError(path, "journal is empty")
+    return header, last
+
+
+# ---------------------------------------------------------------------------
+# Work-unit enumeration (mirrors the runners' traversal order exactly)
+# ---------------------------------------------------------------------------
+
+def _enumerate_tree_tasks(tree, eps: float, compact: bool) -> list[tuple]:
+    """The deterministic leaf/group work-unit sequence of the tree join.
+
+    Mirrors ``_SSJRunner`` (``compact=False``) / ``_CSJRunner``
+    (``compact=True``) — same pruning, same early stops, same order — but
+    yields the units instead of executing them.  Traversal counters are
+    *not* charged here; checkpointed runs account leaf-level work only.
+    """
+    metric = tree.metric
+    tasks: list[tuple] = []
+
+    def visit(node) -> None:
+        if compact and node.diameter(metric) < eps:
+            tasks.append(("group", node))
+            return
+        if node.is_leaf:
+            tasks.append(("self", node))
+            return
+        children = node.children
+        for child in children:
+            visit(child)
+        for a in range(len(children)):
+            for b in range(a + 1, len(children)):
+                if children[a].min_dist(children[b], metric) < eps:
+                    visit_pair(children[a], children[b])
+
+    def visit_pair(n1, n2) -> None:
+        if compact and n1.union_diameter(n2, metric) < eps:
+            tasks.append(("pgroup", n1, n2))
+            return
+        if n1.is_leaf and n2.is_leaf:
+            tasks.append(("cross", n1, n2))
+            return
+        if n1.is_leaf:
+            for child in n2.children:
+                if n1.min_dist(child, metric) < eps:
+                    visit_pair(n1, child)
+            return
+        if n2.is_leaf:
+            for child in n1.children:
+                if child.min_dist(n2, metric) < eps:
+                    visit_pair(child, n2)
+            return
+        for c1 in n1.children:
+            for c2 in n2.children:
+                if c1.min_dist(c2, metric) < eps:
+                    visit_pair(c1, c2)
+
+    if tree.root is not None and tree.size > 1:
+        visit(tree.root)
+    return tasks
+
+
+def _enumerate_egrid_tasks(pts: np.ndarray, eps: float) -> list[tuple]:
+    """Cell work units in :func:`repro.core.egrid.egrid_join` order."""
+    cells = grid_cells(pts, eps)
+    offsets = _positive_neighbour_offsets(pts.shape[1])
+    tasks: list[tuple] = []
+    for key, ids in cells.items():
+        tasks.append(("self", ids))
+        for offset in offsets:
+            neighbour = tuple(k + o for k, o in zip(key, offset))
+            other = cells.get(neighbour)
+            if other is not None:
+                tasks.append(("cross", ids, other))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# Group-window (de)serialization for resumable CSJ
+# ---------------------------------------------------------------------------
+
+def _serialize_window(buffer: GroupBuffer) -> list[list]:
+    return [
+        [sorted(int(i) for i in group.ids), list(group.lo), list(group.hi)]
+        for group in buffer._window
+    ]
+
+
+def _restore_window(buffer: GroupBuffer, state: list) -> None:
+    buffer._window.clear()
+    for ids, lo, hi in state:
+        buffer._window.append(
+            Group(set(int(i) for i in ids), [float(x) for x in lo], [float(x) for x in hi])
+        )
+
+
+_ALGORITHMS = {
+    # name -> (family, compact)
+    "ssj": ("tree", False),
+    "ncsj": ("tree", True),
+    "csj": ("tree", True),
+    "egrid": ("egrid", False),
+    "egrid-csj": ("egrid", True),
+}
+
+
+class CheckpointedJoin:
+    """Resumable similarity self-join with a durable progress journal.
+
+    Parameters mirror :func:`repro.api.similarity_join` where they
+    overlap.  ``output_path`` receives the paper's fixed-width text
+    output; ``journal_path`` (default ``output_path + ".journal"``) holds
+    the checkpoint records; ``cadence`` is the number of work units
+    between checkpoints (``0`` = only the final one).  ``budget`` bounds
+    the run cooperatively — a breach is checkpointed first, so a
+    deadline-bounded run is also a resumable one.  ``sink_wrapper`` wraps
+    the output sink (fault injection, retries) without affecting the
+    journal's durability accounting.
+
+    >>> import numpy as np, tempfile, os
+    >>> pts = np.random.default_rng(0).random((200, 2))
+    >>> d = tempfile.mkdtemp()
+    >>> job = CheckpointedJoin(pts, 0.05, algorithm="csj",
+    ...                        output_path=os.path.join(d, "out.txt"))
+    >>> result = job.run()
+    >>> result.stats.bytes_written == os.path.getsize(os.path.join(d, "out.txt"))
+    True
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        eps: float,
+        output_path: str,
+        algorithm: str = "csj",
+        g: int = 10,
+        index: str = "rstar",
+        metric: object = None,
+        max_entries: int = 64,
+        bulk: Optional[str] = "str",
+        journal_path: Optional[str] = None,
+        cadence: int = 256,
+        budget: Optional[Budget] = None,
+        sink_wrapper: Optional[Callable] = None,
+    ):
+        self.points = validate_points(points)
+        self.eps = validate_eps(eps)
+        algorithm = algorithm.lower()
+        if algorithm not in _ALGORITHMS:
+            raise InvalidInputError(
+                f"unknown or non-checkpointable algorithm {algorithm!r}; "
+                f"supported: {tuple(_ALGORITHMS)}"
+            )
+        if g < 0:
+            raise InvalidInputError(f"window size g must be >= 0, got {g}")
+        self.algorithm = algorithm
+        self.g = 0 if algorithm == "ncsj" else int(g)
+        self.index = index
+        self.metric = metric
+        self.max_entries = max_entries
+        self.bulk = bulk
+        self.output_path = os.fspath(output_path)
+        self.journal_path = (
+            os.fspath(journal_path) if journal_path else self.output_path + ".journal"
+        )
+        self.cadence = max(0, int(cadence))
+        self.budget = budget
+        self.sink_wrapper = sink_wrapper
+
+    # -- identity ----------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """Configuration identity stored in (and checked against) the journal."""
+        family, compact = _ALGORITHMS[self.algorithm]
+        return {
+            "n": int(self.points.shape[0]),
+            "dim": int(self.points.shape[1]),
+            "points_crc": zlib.crc32(np.ascontiguousarray(self.points).tobytes())
+            & 0xFFFFFFFF,
+            "eps": repr(self.eps),
+            "algorithm": self.algorithm,
+            "g": self.g if compact else None,
+            "index": self.index if family == "tree" else "egrid",
+            "max_entries": int(self.max_entries) if family == "tree" else None,
+            "bulk": self.bulk if family == "tree" else None,
+            "metric": get_metric(self.metric).name,
+        }
+
+    # -- the run -----------------------------------------------------------
+    def run(self, resume: bool = False) -> JoinResult:
+        """Execute (or resume) the join; returns the finished result.
+
+        With ``resume=True`` the journal must exist and match this
+        configuration; the output file is truncated to the last durable
+        offset and execution continues from the recorded cursor.
+        """
+        family, compact = _ALGORITHMS[self.algorithm]
+        pts = self.points
+        width = width_for(len(pts))
+        stats = JoinStats()
+        cursor = 0
+        window_state: Optional[list] = None
+
+        if resume:
+            header, ckpt = read_journal(self.journal_path)
+            if header.get("fingerprint") != self.fingerprint():
+                raise CheckpointCorruptError(
+                    self.journal_path,
+                    "journal does not match this run's configuration "
+                    "(different data, range, algorithm or index)",
+                )
+            offset = 0
+            if ckpt is not None:
+                cursor = int(ckpt["cursor"])
+                offset = int(ckpt["offset"])
+                saved = ckpt.get("stats", {})
+                for f in dataclass_fields(JoinStats):
+                    if f.name in saved:
+                        setattr(stats, f.name, saved[f.name])
+                window_state = ckpt.get("window")
+            self._truncate_output(offset)
+            journal = open(self.journal_path, "a", encoding="ascii")
+        else:
+            journal = open(self.journal_path, "w", encoding="ascii")
+            journal.write(
+                _encode_record(
+                    {
+                        "type": "header",
+                        "version": JOURNAL_VERSION,
+                        "fingerprint": self.fingerprint(),
+                    }
+                )
+            )
+            journal.flush()
+            os.fsync(journal.fileno())
+
+        inner = DurableTextSink(
+            self.output_path, stats=stats, id_width=width, append=resume
+        )
+        sink = self.sink_wrapper(inner) if self.sink_wrapper is not None else inner
+
+        metric = get_metric(self.metric)
+        buffer: Optional[GroupBuffer] = None
+        if family == "tree":
+            from repro.api import build_index
+
+            tree = build_index(
+                pts,
+                self.index,
+                metric=metric,
+                max_entries=self.max_entries,
+                bulk=self.bulk,
+            )
+            tasks = _enumerate_tree_tasks(tree, self.eps, compact)
+            if compact:
+                runner = _CSJRunner(tree, self.eps, self.g, sink, None)
+                buffer = runner.buffer
+                execute = self._tree_compact_executor(runner)
+            else:
+                runner = _SSJRunner(tree, self.eps, sink, None)
+                execute = self._tree_plain_executor(runner)
+            index_name = type(tree).name
+        else:
+            tasks = _enumerate_egrid_tasks(pts, self.eps)
+            g_eff = self.g if compact else 0
+            buffer = GroupBuffer(
+                g_eff, self.eps, sink, metric=metric, stats=stats, dim=pts.shape[1]
+            )
+            execute = self._egrid_executor(pts, metric, compact, buffer, sink, stats)
+            index_name = "egrid"
+
+        if cursor > len(tasks):
+            raise CheckpointCorruptError(
+                self.journal_path,
+                f"cursor {cursor} beyond the {len(tasks)} work units of this run",
+            )
+        if window_state is not None and buffer is not None:
+            _restore_window(buffer, window_state)
+
+        budget = self.budget
+        if budget is not None:
+            budget.start()
+        write_time_before = stats.write_time
+        start = time.perf_counter()
+        idx = cursor
+        emitted_mark = stats.links_emitted + stats.groups_emitted
+        try:
+            try:
+                for idx in range(cursor, len(tasks)):
+                    if budget is not None:
+                        budget.check(stats)
+                    execute(tasks[idx])
+                    done = idx + 1
+                    # Checkpoint every ``cadence`` work units — or sooner
+                    # when coarse tasks (large leaves) have emitted that
+                    # much output since the last record, so the durable
+                    # horizon tracks output volume, not just task count.
+                    emitted = stats.links_emitted + stats.groups_emitted
+                    if (
+                        self.cadence
+                        and done < len(tasks)
+                        and (
+                            done % self.cadence == 0
+                            or emitted - emitted_mark >= self.cadence
+                        )
+                    ):
+                        self._checkpoint(journal, inner, done, stats, buffer)
+                        emitted_mark = emitted
+                if buffer is not None:
+                    buffer.flush()
+                self._checkpoint(journal, inner, len(tasks), stats, buffer, final=True)
+            except BudgetExceededError as exc:
+                # The breach fired before executing task ``idx``: checkpoint
+                # the durable prefix so the run can resume later, then
+                # surface the partial result on the exception.
+                self._checkpoint(journal, inner, idx, stats, buffer)
+                self._finalize_timing(stats, start, write_time_before)
+                exc.partial = JoinResult.from_sink(
+                    inner, eps=self.eps, algorithm=self._label(),
+                    g=self.g if compact else None, index_name=index_name,
+                )
+                raise
+        finally:
+            sink.close()
+            journal.close()
+
+        self._finalize_timing(stats, start, write_time_before)
+        return JoinResult.from_sink(
+            inner,
+            eps=self.eps,
+            algorithm=self._label(),
+            g=self.g if compact else None,
+            index_name=index_name,
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def _label(self) -> str:
+        if self.algorithm == "csj":
+            return f"csj({self.g})" if self.g else "ncsj"
+        if self.algorithm == "egrid-csj":
+            return f"egrid-csj({self.g})" if self.g else "egrid-ncsj"
+        return self.algorithm
+
+    @staticmethod
+    def _finalize_timing(stats: JoinStats, start: float, write_time_before: float) -> None:
+        elapsed = time.perf_counter() - start
+        stats.compute_time += elapsed - (stats.write_time - write_time_before)
+
+    @staticmethod
+    def _tree_plain_executor(runner: _SSJRunner) -> Callable[[tuple], None]:
+        def execute(task: tuple) -> None:
+            if task[0] == "self":
+                runner._leaf_self(task[1])
+            else:
+                runner._leaf_cross(task[1], task[2])
+
+        return execute
+
+    @staticmethod
+    def _tree_compact_executor(runner: _CSJRunner) -> Callable[[tuple], None]:
+        def execute(task: tuple) -> None:
+            kind = task[0]
+            if kind == "group":
+                runner._emit_node_group(task[1])
+            elif kind == "pgroup":
+                runner._emit_pair_group(task[1], task[2])
+            elif kind == "self":
+                runner._leaf_self(task[1])
+            else:
+                runner._leaf_cross(task[1], task[2])
+
+        return execute
+
+    def _egrid_executor(self, pts, metric, compact, buffer, sink, stats) -> Callable[[tuple], None]:
+        eps = self.eps
+
+        def execute(task: tuple) -> None:
+            if task[0] == "self":
+                _join_cell_self(pts, task[1], eps, metric, compact, buffer, sink, stats)
+            else:
+                _join_cell_pair(
+                    pts, task[1], task[2], eps, metric, compact, buffer, sink, stats
+                )
+
+        return execute
+
+    def _checkpoint(
+        self,
+        journal,
+        inner: DurableTextSink,
+        cursor: int,
+        stats: JoinStats,
+        buffer: Optional[GroupBuffer],
+        final: bool = False,
+    ) -> None:
+        # Order matters: the output bytes must be durable *before* the
+        # journal record that declares them so.
+        inner.sync()
+        record = {
+            "type": "ckpt",
+            "cursor": int(cursor),
+            "offset": int(inner.tell()),
+            "stats": stats.as_dict(),
+        }
+        if buffer is not None and buffer.g > 0:
+            record["window"] = _serialize_window(buffer)
+        if final:
+            record["done"] = True
+        journal.write(_encode_record(record))
+        journal.flush()
+        os.fsync(journal.fileno())
+
+    def _truncate_output(self, offset: int) -> None:
+        if not os.path.exists(self.output_path):
+            if offset:
+                raise CheckpointCorruptError(
+                    self.output_path,
+                    f"output file missing but journal records {offset} durable bytes",
+                )
+            return
+        size = os.path.getsize(self.output_path)
+        if size < offset:
+            raise CheckpointCorruptError(
+                self.output_path,
+                f"output file shorter than the durable offset ({size} < {offset})",
+            )
+        with open(self.output_path, "r+b") as handle:
+            handle.truncate(offset)

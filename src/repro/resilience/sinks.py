@@ -1,0 +1,191 @@
+"""Crash-safe output sinks.
+
+Three sinks with increasing guarantees:
+
+* :class:`DurableTextSink` — a :class:`~repro.core.results.TextSink` that
+  can append to an existing file and force written bytes to stable
+  storage on demand; the building block of checkpointed execution.
+* :class:`AtomicTextSink` — all-or-nothing publication.  Output is
+  written to a temporary sibling file and moved into place with the
+  classic write → flush → fsync → rename sequence only on a clean close;
+  a crash (or an exception propagating through the ``with`` block) leaves
+  the destination untouched.
+* :class:`RetryingSink` — wraps any sink and absorbs *transient*
+  ``OSError`` s with bounded exponential backoff, raising
+  :class:`~repro.errors.SinkIOError` only after the retry budget is
+  exhausted.
+
+Accounting note: the wrappers delegate to the inner sink's public
+methods, so bytes, counters and write timing are charged exactly once, on
+the inner sink's shared :class:`~repro.stats.counters.JoinStats`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.core.results import JoinSink, TextSink
+from repro.errors import SinkIOError
+from repro.io.writer import FixedWidthWriter
+from repro.stats.counters import JoinStats
+
+__all__ = ["AtomicTextSink", "DurableTextSink", "RetryingSink"]
+
+
+class DurableTextSink(TextSink):
+    """A text sink with append support and explicit durability control."""
+
+    def __init__(
+        self,
+        path: str,
+        stats: Optional[JoinStats] = None,
+        id_width: int = 8,
+        append: bool = False,
+    ):
+        JoinSink.__init__(self, stats, id_width)
+        self.path = os.fspath(path)
+        self._writer = FixedWidthWriter(
+            self.path, width=id_width, mode="a" if append else "w"
+        )
+
+    def sync(self) -> None:
+        """Flush and fsync: everything written so far survives a crash."""
+        self._writer.sync()
+
+    def tell(self) -> int:
+        """Current byte offset in the output file."""
+        return self._writer.tell()
+
+
+class AtomicTextSink(TextSink):
+    """All-or-nothing text output: temp file, fsync, then rename.
+
+    The destination path either holds the complete join output or is
+    untouched — never a torn prefix.  Used as a context manager, an
+    exception aborts the write and removes the temporary file; a clean
+    exit publishes.  :attr:`committed` records which happened.
+    """
+
+    def __init__(self, path: str, stats: Optional[JoinStats] = None, id_width: int = 8):
+        self._tmp_path = os.fspath(path) + ".part"
+        self.committed = False
+        self._closed = False
+        super().__init__(self._tmp_path, stats, id_width)
+        # After the super() call: TextSink recorded the temp file as the
+        # destination; the published path is what callers should see.
+        self.path = os.fspath(path)
+
+    def close(self) -> None:
+        """Publish atomically: flush → fsync → rename over the target."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.sync()
+        self._writer.close()
+        os.replace(self._tmp_path, self.path)
+        self._fsync_parent_dir()
+        self.committed = True
+
+    def abort(self) -> None:
+        """Discard the temporary file; the destination stays untouched."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            os.unlink(self._tmp_path)
+        except FileNotFoundError:
+            pass
+
+    def _fsync_parent_dir(self) -> None:
+        # Make the rename itself durable; best effort where the platform
+        # does not support opening directories.
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd = os.open(parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+class RetryingSink(JoinSink):
+    """Bounded-exponential-backoff retries around a flaky inner sink.
+
+    Each write is attempted up to ``1 + max_retries`` times; transient
+    ``OSError`` s are swallowed and retried after ``base_delay * 2**k``
+    seconds (capped at ``max_delay``).  When the budget is exhausted the
+    last error is wrapped in :class:`~repro.errors.SinkIOError`.
+
+    ``sleep`` is injectable so tests (and the chaos harness) run at full
+    speed.  Retrying re-invokes the inner sink's public method, which is
+    exact when the failed attempt wrote nothing (the inner sink updates
+    its accounting only after a successful store); a torn partial line
+    from a genuine mid-write crash is the checkpoint journal's job to
+    truncate, not this wrapper's.
+    """
+
+    def __init__(
+        self,
+        inner: JoinSink,
+        max_retries: int = 4,
+        base_delay: float = 0.01,
+        max_delay: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        super().__init__(inner.stats, inner.id_width)
+        self.inner = inner
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._sleep = sleep
+        #: Transient failures absorbed so far.
+        self.retries = 0
+
+    def _attempt(self, fn: Callable, *args: object) -> None:
+        delay = self.base_delay
+        for attempt in range(self.max_retries + 1):
+            try:
+                fn(*args)
+                return
+            except SinkIOError:
+                raise  # already final: do not re-wrap or re-retry
+            except OSError as exc:
+                if attempt == self.max_retries:
+                    raise SinkIOError(
+                        f"sink write failed after {attempt + 1} attempts: {exc}"
+                    ) from exc
+                self.retries += 1
+                self._sleep(min(delay, self.max_delay))
+                delay *= 2
+
+    # -- delegation: accounting happens once, in the inner sink ------------
+    def write_link(self, i: int, j: int) -> None:
+        self._attempt(self.inner.write_link, i, j)
+
+    def write_link_raw(self, i: int, j: int) -> None:
+        self._attempt(self.inner.write_link_raw, i, j)
+
+    def write_links(self, ids_i: Sequence[int], ids_j: Sequence[int]) -> None:
+        self._attempt(self.inner.write_links, ids_i, ids_j)
+
+    def write_group(self, ids: Sequence[int]) -> None:
+        self._attempt(self.inner.write_group, ids)
+
+    def write_group_pair(self, ids_a: Sequence[int], ids_b: Sequence[int]) -> None:
+        self._attempt(self.inner.write_group_pair, ids_a, ids_b)
+
+    def close(self) -> None:
+        self._attempt(self.inner.close)

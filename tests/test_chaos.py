@@ -1,0 +1,186 @@
+"""The fault-injection harness: deterministic plans, flaky sinks/indexes."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_index
+from repro.core.csj import csj
+from repro.core.results import CollectSink
+from repro.core.ssj import ssj
+from repro.core.verify import brute_force_links
+from repro.resilience.chaos import FailurePlan, FlakyIndex, FlakySink
+from repro.resilience.sinks import RetryingSink
+
+
+class TestFailurePlan:
+    def test_deterministic_under_same_seed(self):
+        def failures(seed):
+            plan = FailurePlan(seed=seed, rate=0.3)
+            out = []
+            for op in range(100):
+                try:
+                    plan.tick()
+                except OSError:
+                    out.append(op)
+            return out
+
+        assert failures(7) == failures(7)
+        assert failures(7) != failures(8)
+
+    def test_explicit_schedule(self):
+        plan = FailurePlan(fail_at=[2, 5])
+        hit = []
+        for op in range(8):
+            try:
+                plan.tick()
+            except OSError as exc:
+                hit.append(op)
+                assert f"op {op}" in str(exc)
+        assert hit == [2, 5]
+
+    def test_max_failures_exhausts(self):
+        plan = FailurePlan(rate=1.0, max_failures=3)
+        hit = 0
+        for _ in range(10):
+            try:
+                plan.tick()
+            except OSError:
+                hit += 1
+        assert hit == 3
+        assert plan.failures == 3
+        assert plan.ops == 10
+
+    def test_stream_position_independent_of_outcomes(self):
+        # max_failures must not shift later failure decisions: the draw
+        # happens unconditionally, so op k's roll depends only on k.
+        unlimited = FailurePlan(seed=3, rate=0.5)
+        limited = FailurePlan(seed=3, rate=0.5, max_failures=2)
+        pattern_a, pattern_b = [], []
+        for _ in range(50):
+            try:
+                unlimited.tick()
+                pattern_a.append(False)
+            except OSError:
+                pattern_a.append(True)
+        for _ in range(50):
+            try:
+                limited.tick()
+                pattern_b.append(False)
+            except OSError:
+                pattern_b.append(True)
+        assert [i for i, f in enumerate(pattern_b) if f] == \
+            [i for i, f in enumerate(pattern_a) if f][:2]
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FailurePlan(rate=1.5)
+
+
+class TestFlakySink:
+    def test_no_plan_is_identity(self):
+        inner = CollectSink(id_width=4)
+        sink = FlakySink(inner, FailurePlan())
+        sink.write_link(1, 2)
+        sink.write_group([3, 4, 5])
+        sink.close()
+        assert inner.links == [(1, 2)]
+        assert inner.groups == [(3, 4, 5)]
+
+    def test_failed_write_stores_nothing(self):
+        inner = CollectSink(id_width=4)
+        sink = FlakySink(inner, FailurePlan(fail_at=[0]))
+        with pytest.raises(OSError):
+            sink.write_link(1, 2)
+        assert inner.links == []
+        assert inner.stats.links_emitted == 0
+        sink.write_link(1, 2)  # op 1 succeeds
+        assert inner.links == [(1, 2)]
+
+    def test_retrying_sink_rides_through_flaky_sink(self):
+        inner = CollectSink(id_width=4)
+        flaky = FlakySink(inner, FailurePlan(seed=5, rate=0.4))
+        sink = RetryingSink(flaky, max_retries=8, sleep=lambda _s: None)
+        for i in range(50):
+            sink.write_link(i, i + 1)
+        sink.close()
+        assert len(inner.links) == 50
+        assert sink.retries > 0  # the plan really did inject failures
+
+
+class TestFlakyIndex:
+    def _tree(self, n=300, seed=4):
+        pts = np.random.default_rng(seed).random((n, 2))
+        return pts, build_index(pts, bulk="str")
+
+    def test_no_failures_is_identity(self):
+        pts, tree = self._tree()
+        flaky = FlakyIndex(tree, FailurePlan())
+        assert ssj(flaky, 0.08).links == ssj(tree, 0.08).links
+        assert flaky.size == tree.size
+
+    def test_scheduled_page_read_fails(self):
+        pts, tree = self._tree()
+        flaky = FlakyIndex(tree, FailurePlan(fail_at=[5]))
+        with pytest.raises(OSError, match="index page read"):
+            ssj(flaky, 0.08)
+        assert flaky.plan.failures == 1
+
+    def test_join_recovers_after_plan_exhausts(self):
+        pts = np.random.default_rng(4).random((300, 2))
+        from repro.index.bulk import bulk_load
+
+        tree = bulk_load(pts, max_entries=8)
+        exact = brute_force_links(pts, 0.08)
+        # The plan keeps counting ops across retries, so each scheduled
+        # failure kills one attempt; the fourth attempt runs clean.
+        plan = FailurePlan(fail_at=[3, 20, 45])
+        flaky = FlakyIndex(tree, plan)
+        attempts = 0
+        while True:
+            attempts += 1
+            assert attempts < 10
+            try:
+                result = csj(flaky, 0.08, g=10)
+                break
+            except OSError:
+                continue  # retry the whole join; plan eventually dries up
+        assert plan.failures == 3
+        assert attempts == 4
+        assert result.expanded_links() == exact
+
+
+class TestEndToEndRecovery:
+    """Three seeds of sink chaos against checkpointed runs (the CI chaos
+    job runs this battery)."""
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_checkpointed_run_survives_seeded_chaos(self, seed, tmp_path):
+        import filecmp
+
+        from repro.api import similarity_join
+        from repro.core.results import TextSink
+        from repro.io.writer import width_for
+        from repro.resilience.checkpoint import CheckpointedJoin
+
+        pts = np.random.default_rng(seed).random((250, 2))
+        direct = tmp_path / "direct.txt"
+        sink = TextSink(str(direct), id_width=width_for(len(pts)))
+        similarity_join(pts, 0.07, algorithm="csj", g=10, sink=sink)
+        sink.close()
+
+        ck = tmp_path / "ck.txt"
+        crashes = 0
+        while True:
+            wrapper = lambda inner: FlakySink(
+                inner, FailurePlan(seed=seed + crashes, rate=0.01)
+            )
+            job = CheckpointedJoin(pts, 0.07, str(ck), algorithm="csj", g=10,
+                                   cadence=6, sink_wrapper=wrapper)
+            try:
+                result = job.run(resume=crashes > 0)
+                break
+            except OSError:
+                crashes += 1
+                assert crashes < 300
+        assert filecmp.cmp(str(direct), str(ck), shallow=False)
+        assert result.expanded_links() == brute_force_links(pts, 0.07)

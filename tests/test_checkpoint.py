@@ -1,0 +1,257 @@
+"""Checkpointed, resumable join execution (the journal + recovery layer).
+
+The central claims mirror the paper's Theorems 1 and 2 across a crash:
+a run interrupted at any point and resumed from its journal produces the
+byte-identical output file of an uninterrupted run — hence the same
+expanded link set, which equals the brute-force join.
+"""
+
+import filecmp
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import similarity_join
+from repro.core.results import TextSink
+from repro.core.verify import brute_force_links
+from repro.errors import BudgetExceededError, CheckpointCorruptError
+from repro.io.writer import width_for
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import FailurePlan, FlakySink
+from repro.resilience.checkpoint import CheckpointedJoin, read_journal
+
+ALGORITHMS = ["ssj", "ncsj", "csj", "egrid", "egrid-csj"]
+
+
+@pytest.fixture
+def pts():
+    return np.random.default_rng(11).random((350, 2))
+
+
+def _direct_output(pts, eps, algo, path, g=10):
+    sink = TextSink(str(path), id_width=width_for(len(pts)))
+    result = similarity_join(pts, eps, algorithm=algo, g=g, sink=sink)
+    sink.close()
+    return result
+
+
+class TestFreshRuns:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_byte_identical_to_direct_join(self, pts, algo, tmp_path):
+        direct = tmp_path / "direct.txt"
+        r_direct = _direct_output(pts, 0.06, algo, direct)
+        ck = tmp_path / "ck.txt"
+        job = CheckpointedJoin(pts, 0.06, str(ck), algorithm=algo, g=10, cadence=13)
+        r_ck = job.run()
+        assert filecmp.cmp(str(direct), str(ck), shallow=False)
+        assert r_ck.stats.links_emitted == r_direct.stats.links_emitted
+        assert r_ck.stats.groups_emitted == r_direct.stats.groups_emitted
+        assert r_ck.stats.bytes_written == os.path.getsize(ck)
+
+    def test_journal_records_completion(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        CheckpointedJoin(pts, 0.06, str(ck), cadence=13).run()
+        header, last = read_journal(str(ck) + ".journal")
+        assert header["type"] == "header"
+        assert last["done"] is True
+        assert last["offset"] == os.path.getsize(ck)
+
+    def test_custom_journal_path(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        journal = tmp_path / "elsewhere.journal"
+        CheckpointedJoin(pts, 0.06, str(ck), journal_path=str(journal)).run()
+        assert journal.exists()
+        assert not os.path.exists(str(ck) + ".journal")
+
+    def test_mtree_index_supported(self, pts, tmp_path):
+        direct = tmp_path / "direct.txt"
+        sink = TextSink(str(direct), id_width=width_for(len(pts)))
+        similarity_join(pts, 0.06, algorithm="csj", g=10, index="mtree",
+                        bulk=None, sink=sink)
+        sink.close()
+        ck = tmp_path / "ck.txt"
+        CheckpointedJoin(pts, 0.06, str(ck), algorithm="csj", g=10,
+                         index="mtree", bulk=None, cadence=7).run()
+        assert filecmp.cmp(str(direct), str(ck), shallow=False)
+
+
+def _run_until_done(pts, eps, algo, ck, seed, rate=0.004, cadence=9, g=10):
+    """Crash-and-resume loop; returns (result, crash_count).
+
+    The first attempt always dies (scheduled failure at op 3, well within
+    even SSJ's batched-write op count); later attempts crash randomly at
+    ``rate`` until one runs clean.
+    """
+    crashes = 0
+    while True:
+        fail_at = [3] if crashes == 0 else []
+        wrapper = lambda inner: FlakySink(
+            inner, FailurePlan(seed=seed + crashes, rate=rate, fail_at=fail_at)
+        )
+        job = CheckpointedJoin(pts, eps, str(ck), algorithm=algo, g=g,
+                               cadence=cadence, sink_wrapper=wrapper)
+        try:
+            return job.run(resume=crashes > 0), crashes
+        except OSError:
+            crashes += 1
+            assert crashes < 300, "resume is not making progress"
+
+
+class TestCrashAndResume:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_interrupted_run_recovers_byte_identically(self, pts, algo, tmp_path):
+        direct = tmp_path / "direct.txt"
+        r_direct = _direct_output(pts, 0.06, algo, direct)
+        ck = tmp_path / "ck.txt"
+        result, crashes = _run_until_done(pts, 0.06, algo, ck, seed=1)
+        assert crashes > 0, "fault plan injected nothing; raise the rate"
+        assert filecmp.cmp(str(direct), str(ck), shallow=False)
+        assert result.expanded_links() == r_direct.expanded_links()
+
+    def test_expanded_links_equal_brute_force(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        result, crashes = _run_until_done(pts, 0.06, "csj", ck, seed=2)
+        assert crashes > 0
+        assert result.expanded_links() == brute_force_links(pts, 0.06)
+
+    def test_resume_after_budget_breach(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        job = CheckpointedJoin(
+            pts, 0.06, str(ck), algorithm="csj", g=10, cadence=9,
+            budget=Budget(deadline_seconds=0.0, check_every=1),
+        )
+        with pytest.raises(BudgetExceededError) as info:
+            job.run()
+        assert info.value.partial is not None
+        # The deadline-killed run left a durable journal: resume finishes it.
+        job2 = CheckpointedJoin(pts, 0.06, str(ck), algorithm="csj", g=10,
+                                cadence=9)
+        result = job2.run(resume=True)
+        direct = tmp_path / "direct.txt"
+        _direct_output(pts, 0.06, "csj", direct)
+        assert filecmp.cmp(str(direct), str(ck), shallow=False)
+        assert result.expanded_links() == brute_force_links(pts, 0.06)
+
+    def test_resume_of_completed_run_is_noop(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        CheckpointedJoin(pts, 0.06, str(ck), cadence=9).run()
+        before = open(ck, "rb").read()
+        CheckpointedJoin(pts, 0.06, str(ck), cadence=9).run(resume=True)
+        assert open(ck, "rb").read() == before
+
+
+class TestJournalSafety:
+    def test_resume_without_journal_fails(self, pts, tmp_path):
+        job = CheckpointedJoin(pts, 0.06, str(tmp_path / "ck.txt"))
+        with pytest.raises(CheckpointCorruptError):
+            job.run(resume=True)
+
+    def test_fingerprint_mismatch_rejected(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        CheckpointedJoin(pts, 0.06, str(ck), cadence=9).run()
+        with pytest.raises(CheckpointCorruptError, match="configuration"):
+            CheckpointedJoin(pts, 0.07, str(ck)).run(resume=True)
+        other = np.random.default_rng(99).random((350, 2))
+        with pytest.raises(CheckpointCorruptError, match="configuration"):
+            CheckpointedJoin(other, 0.06, str(ck)).run(resume=True)
+
+    def test_torn_journal_tail_is_ignored(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        wrapper = lambda inner: FlakySink(inner, FailurePlan(fail_at=[40]))
+        with pytest.raises(OSError):
+            CheckpointedJoin(pts, 0.06, str(ck), cadence=5,
+                             sink_wrapper=wrapper).run()
+        journal = str(ck) + ".journal"
+        with open(journal, "a") as f:
+            f.write('deadbeef {"type":"ckpt","cursor":9')  # torn, bad CRC
+        header, last = read_journal(journal)
+        assert last is None or last["type"] == "ckpt"
+        result = CheckpointedJoin(pts, 0.06, str(ck), cadence=5).run(resume=True)
+        assert result.expanded_links() == brute_force_links(pts, 0.06)
+
+    def test_corrupt_header_rejected(self, pts, tmp_path):
+        journal = tmp_path / "bad.journal"
+        journal.write_text("this is not a journal\n")
+        with pytest.raises(CheckpointCorruptError):
+            read_journal(str(journal))
+
+    def test_truncated_output_beyond_offset_restored(self, pts, tmp_path):
+        """Extra non-durable bytes after the recorded offset are discarded."""
+        ck = tmp_path / "ck.txt"
+        wrapper = lambda inner: FlakySink(inner, FailurePlan(fail_at=[60]))
+        with pytest.raises(OSError):
+            CheckpointedJoin(pts, 0.06, str(ck), cadence=5,
+                             sink_wrapper=wrapper).run()
+        with open(ck, "a") as f:
+            f.write("TORN PARTIAL LIN")  # crash mid-line after last fsync
+        result = CheckpointedJoin(pts, 0.06, str(ck), cadence=5).run(resume=True)
+        direct = tmp_path / "direct.txt"
+        _direct_output(pts, 0.06, "csj", direct)
+        assert filecmp.cmp(str(direct), str(ck), shallow=False)
+
+    def test_missing_output_with_progress_rejected(self, pts, tmp_path):
+        ck = tmp_path / "ck.txt"
+        wrapper = lambda inner: FlakySink(inner, FailurePlan(fail_at=[60]))
+        with pytest.raises(OSError):
+            CheckpointedJoin(pts, 0.06, str(ck), cadence=5,
+                             sink_wrapper=wrapper).run()
+        os.unlink(ck)
+        with pytest.raises(CheckpointCorruptError):
+            CheckpointedJoin(pts, 0.06, str(ck), cadence=5).run(resume=True)
+
+
+class TestPropertyKillAndResume:
+    """Hypothesis: kill at a random write, resume — exactly the brute-force
+    links, for random point sets, ranges and algorithms (Theorems 1-2
+    across a crash)."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(60, 160),
+        eps=st.sampled_from([0.05, 0.1, 0.2]),
+        algo=st.sampled_from(["csj", "ssj", "egrid-csj"]),
+        kill_op=st.integers(1, 120),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kill_anywhere_resume_lossless(self, tmp_path_factory, seed, n,
+                                           eps, algo, kill_op):
+        pts = np.random.default_rng(seed).random((n, 2))
+        d = tmp_path_factory.mktemp("ck")
+        ck = d / "out.txt"
+        wrapper = lambda inner: FlakySink(
+            inner, FailurePlan(fail_at=[kill_op], max_failures=1)
+        )
+        job = CheckpointedJoin(pts, eps, str(ck), algorithm=algo, g=7,
+                               cadence=4, sink_wrapper=wrapper)
+        try:
+            result = job.run()
+            interrupted = False
+        except OSError:
+            interrupted = True
+            result = CheckpointedJoin(pts, eps, str(ck), algorithm=algo, g=7,
+                                      cadence=4).run(resume=True)
+        assert result.expanded_links() == brute_force_links(pts, eps)
+        direct = d / "direct.txt"
+        _direct_output(pts, eps, algo, direct, g=7)
+        assert filecmp.cmp(str(direct), str(ck), shallow=False), (
+            f"divergent output (interrupted={interrupted})"
+        )
+
+
+class TestValidation:
+    def test_rejects_unknown_algorithm(self, pts, tmp_path):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            CheckpointedJoin(pts, 0.06, str(tmp_path / "x"), algorithm="pbsm")
+
+    def test_rejects_bad_inputs(self, tmp_path):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            CheckpointedJoin(np.empty((0, 2)), 0.06, str(tmp_path / "x"))
+        with pytest.raises(InvalidInputError):
+            CheckpointedJoin(np.zeros((5, 2)), -1.0, str(tmp_path / "x"))

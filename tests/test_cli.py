@@ -96,6 +96,110 @@ class TestClusterCommand:
             main(["cluster", "--eps", "0.1"])
 
 
+class TestResilienceFlags:
+    def _pts_file(self, tmp_path, n=200, seed=0):
+        path = tmp_path / "pts.txt"
+        np.savetxt(path, np.random.default_rng(seed).random((n, 2)))
+        return str(path)
+
+    def test_checkpoint_flag_writes_journal(self, tmp_path, capsys):
+        pts = self._pts_file(tmp_path)
+        out = tmp_path / "out.txt"
+        journal = tmp_path / "progress.journal"
+        code = main(
+            ["join", "--input", pts, "--eps", "0.1", "--output", str(out),
+             "--checkpoint", str(journal)]
+        )
+        assert code == 0
+        assert out.exists() and journal.exists()
+        assert "checkpoint" in capsys.readouterr().out
+
+    def test_checkpoint_requires_output(self, tmp_path):
+        pts = self._pts_file(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["join", "--input", pts, "--eps", "0.1",
+                  "--checkpoint", str(tmp_path / "j")])
+
+    def test_resume_requires_checkpoint(self, tmp_path):
+        pts = self._pts_file(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["join", "--input", pts, "--eps", "0.1", "--resume"])
+
+    def test_resume_completes_interrupted_run(self, tmp_path, capsys):
+        import filecmp
+
+        pts = self._pts_file(tmp_path, n=300)
+        direct = tmp_path / "direct.txt"
+        assert main(["join", "--input", pts, "--eps", "0.08",
+                     "--output", str(direct)]) == 0
+
+        out = tmp_path / "out.txt"
+        journal = tmp_path / "j.journal"
+        # A zero deadline interrupts immediately -> exit code 3 ...
+        code = main(
+            ["join", "--input", pts, "--eps", "0.08", "--output", str(out),
+             "--checkpoint", str(journal), "--deadline", "0"]
+        )
+        assert code == 3
+        assert "csj: error:" in capsys.readouterr().err
+        # ... and --resume finishes the run byte-identically.
+        code = main(
+            ["join", "--input", pts, "--eps", "0.08", "--output", str(out),
+             "--checkpoint", str(journal), "--resume"]
+        )
+        assert code == 0
+        assert filecmp.cmp(str(direct), str(out), shallow=False)
+
+    def test_deadline_breach_exit_code(self, tmp_path, capsys):
+        pts = self._pts_file(tmp_path)
+        code = main(["join", "--input", pts, "--eps", "0.1",
+                     "--deadline", "0"])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_max_bytes_ssj_degrades_to_estimate(self, tmp_path, capsys):
+        pts = self._pts_file(tmp_path, n=400)
+        code = main(["join", "--input", pts, "--eps", "0.2",
+                     "--algorithm", "ssj", "--max-bytes", "100"])
+        assert code == 0  # graceful: the estimator answered
+        assert "analytic estimate" in capsys.readouterr().out
+
+    def test_max_bytes_csj_exit_code(self, tmp_path, capsys):
+        pts = self._pts_file(tmp_path, n=400)
+        code = main(["join", "--input", pts, "--eps", "0.2",
+                     "--algorithm", "csj", "--max-bytes", "100"])
+        assert code == 3
+
+
+class TestExitCodes:
+    def test_invalid_input_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "pts.txt"
+        path.write_text("0.1 nan\n0.2 0.3\n")
+        code = main(["join", "--input", str(path), "--eps", "0.1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("csj: error:")
+        assert "NaN" in err
+
+    def test_missing_input_file_exit_code(self, capsys):
+        code = main(["join", "--input", "/nonexistent/pts.txt", "--eps", "0.1"])
+        assert code == 1
+        assert "csj: error:" in capsys.readouterr().err
+
+    def test_corrupt_journal_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "pts.txt"
+        np.savetxt(path, np.random.default_rng(0).random((50, 2)))
+        journal = tmp_path / "j.journal"
+        journal.write_text("garbage, not a journal\n")
+        code = main(
+            ["join", "--input", str(path), "--eps", "0.1",
+             "--output", str(tmp_path / "out.txt"),
+             "--checkpoint", str(journal), "--resume"]
+        )
+        assert code == 5
+        assert str(journal) in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_fig6_small(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.05")

@@ -1,0 +1,154 @@
+"""The typed exception hierarchy and API-boundary input validation."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_index, similarity_join
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointCorruptError,
+    InvalidInputError,
+    ReproError,
+    SinkIOError,
+    validate_eps,
+    validate_points,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            InvalidInputError,
+            BudgetExceededError,
+            SinkIOError,
+            CheckpointCorruptError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_compatibility(self):
+        # Callers that historically caught the builtin types keep working.
+        assert issubclass(InvalidInputError, ValueError)
+        assert issubclass(BudgetExceededError, RuntimeError)
+        assert issubclass(SinkIOError, OSError)
+
+    def test_exit_codes_distinct(self):
+        codes = [
+            ReproError.exit_code,
+            InvalidInputError.exit_code,
+            BudgetExceededError.exit_code,
+            SinkIOError.exit_code,
+            CheckpointCorruptError.exit_code,
+        ]
+        assert codes == [1, 2, 3, 4, 5]
+
+    def test_budget_error_carries_breach_details(self):
+        exc = BudgetExceededError("deadline", 1.5, 2.25)
+        assert exc.kind == "deadline"
+        assert exc.limit == 1.5
+        assert exc.actual == 2.25
+        assert exc.partial is None
+        assert "deadline" in str(exc)
+
+    def test_checkpoint_error_names_path(self):
+        exc = CheckpointCorruptError("/tmp/x.journal", "bad header")
+        assert exc.path == "/tmp/x.journal"
+        assert "/tmp/x.journal" in str(exc)
+        assert "bad header" in str(exc)
+
+
+class TestValidatePoints:
+    def test_passthrough(self):
+        pts = np.random.default_rng(0).random((10, 3))
+        out = validate_points(pts)
+        assert out.shape == (10, 3)
+        assert out.dtype == np.float64
+
+    def test_list_input_normalised(self):
+        out = validate_points([[0.0, 1.0], [2.0, 3.0]])
+        assert out.shape == (2, 2)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.empty((0, 2)),
+            np.empty((5, 0)),
+            np.zeros(5),
+            np.zeros((2, 2, 2)),
+        ],
+        ids=["no-rows", "no-cols", "1d", "3d"],
+    )
+    def test_bad_shapes(self, bad):
+        with pytest.raises(InvalidInputError):
+            validate_points(bad)
+
+    @pytest.mark.parametrize("bad_value", [np.nan, np.inf, -np.inf])
+    def test_non_finite(self, bad_value):
+        pts = np.random.default_rng(0).random((20, 2))
+        pts[7, 1] = bad_value
+        with pytest.raises(InvalidInputError, match="first bad row: 7"):
+            validate_points(pts)
+
+    def test_non_numeric(self):
+        with pytest.raises(InvalidInputError):
+            validate_points([["a", "b"]])
+
+
+class TestValidateEps:
+    @pytest.mark.parametrize("bad", [0.0, -0.5, float("nan"), float("inf"), None])
+    def test_rejects(self, bad):
+        with pytest.raises(InvalidInputError):
+            validate_eps(bad)
+
+    def test_accepts_positive(self):
+        assert validate_eps(0.25) == 0.25
+        assert validate_eps("0.5") == 0.5
+
+
+class TestApiBoundary:
+    """similarity_join / build_index reject bad input before any tree code."""
+
+    def test_join_rejects_nan_points(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        pts[3, 0] = np.nan
+        with pytest.raises(InvalidInputError):
+            similarity_join(pts, 0.1)
+
+    def test_join_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            similarity_join(np.empty((0, 2)), 0.1)
+
+    def test_join_rejects_1d(self):
+        with pytest.raises(InvalidInputError):
+            similarity_join(np.zeros(8), 0.1)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0, float("inf")])
+    def test_join_rejects_bad_eps(self, eps):
+        pts = np.random.default_rng(0).random((30, 2))
+        with pytest.raises(InvalidInputError):
+            similarity_join(pts, eps)
+
+    def test_join_rejects_negative_g(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        with pytest.raises(InvalidInputError):
+            similarity_join(pts, 0.1, g=-1)
+
+    def test_caught_as_value_error(self):
+        # Backward compatibility: the old contract was ValueError.
+        with pytest.raises(ValueError):
+            similarity_join(np.empty((0, 2)), 0.1)
+
+    def test_unknown_algorithm_stays_value_error(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            similarity_join(pts, 0.1, algorithm="nope")
+
+    def test_build_index_rejects_inf(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        pts[0, 0] = np.inf
+        with pytest.raises(InvalidInputError):
+            build_index(pts)
+
+    def test_build_index_passthrough_skips_validation(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        tree = build_index(pts)
+        assert build_index(pts, tree) is tree

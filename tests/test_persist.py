@@ -109,3 +109,75 @@ class TestErrors:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError, match="unknown index kind"):
             load_index(path)
+
+
+class TestCorruptFiles:
+    """Damaged index files fail with CheckpointCorruptError naming the
+    path — never a raw zipfile / unpickling traceback."""
+
+    def _saved(self, uniform_2d, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_index(bulk_load(uniform_2d, max_entries=16), path)
+        return path
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(str(tmp_path / "never_saved.npz"))
+
+    def test_truncated_file(self, uniform_2d, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path = self._saved(uniform_2d, tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointCorruptError) as info:
+            load_index(path)
+        assert info.value.path == path
+
+    def test_garbage_file(self, uniform_2d, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path = str(tmp_path / "t.npz")
+        open(path, "wb").write(b"\x00" * 512)
+        with pytest.raises(CheckpointCorruptError):
+            load_index(path)
+
+    def test_missing_array_key(self, uniform_2d, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path = self._saved(uniform_2d, tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        del data["entry_offsets"]
+        np.savez_compressed(path, **data)
+        with pytest.raises(CheckpointCorruptError):
+            load_index(path)
+
+    def test_inconsistent_structure(self, uniform_2d, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path = self._saved(uniform_2d, tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["parents"] = data["parents"][:-1]  # truncated hierarchy
+        np.savez_compressed(path, **data)
+        with pytest.raises(CheckpointCorruptError, match="inconsistent"):
+            load_index(path)
+
+    def test_out_of_range_entries(self, uniform_2d, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path = self._saved(uniform_2d, tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        entries = data["entries"].copy()
+        entries[0] = 10**9
+        data["entries"] = entries
+        np.savez_compressed(path, **data)
+        with pytest.raises(CheckpointCorruptError, match="out of range"):
+            load_index(path)
+
+    def test_corruption_error_is_catchable_as_repro_error(self, uniform_2d, tmp_path):
+        from repro.errors import ReproError
+
+        path = self._saved(uniform_2d, tmp_path)
+        open(path, "wb").write(b"junk")
+        with pytest.raises(ReproError):
+            load_index(path)

@@ -1,0 +1,159 @@
+"""Crash-safe sinks: durability, atomic publication, bounded retries."""
+
+import os
+
+import pytest
+
+from repro.core.results import CollectSink
+from repro.errors import SinkIOError
+from repro.resilience.sinks import AtomicTextSink, DurableTextSink, RetryingSink
+
+
+class TestDurableTextSink:
+    def test_writes_and_tells(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        sink = DurableTextSink(path, id_width=4)
+        sink.write_link(1, 2)
+        sink.sync()
+        assert sink.tell() == os.path.getsize(path) > 0
+        sink.write_group([3, 4, 5])
+        sink.close()
+        assert sink.stats.links_emitted == 1
+        assert sink.stats.groups_emitted == 1
+
+    def test_append_continues_file(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        first = DurableTextSink(path, id_width=4)
+        first.write_link(1, 2)
+        first.close()
+        size = os.path.getsize(path)
+        second = DurableTextSink(path, id_width=4, append=True)
+        second.write_link(3, 4)
+        second.close()
+        assert os.path.getsize(path) == 2 * size
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        for _ in range(2):
+            sink = DurableTextSink(path, id_width=4)
+            sink.write_link(1, 2)
+            sink.close()
+        content = open(path).read()
+        assert content.count("\n") == 1
+
+
+class TestAtomicTextSink:
+    def test_clean_close_publishes(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        sink = AtomicTextSink(path, id_width=4)
+        sink.write_link(1, 2)
+        assert not os.path.exists(path)  # still only the temp file
+        sink.close()
+        assert sink.committed
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".part")
+
+    def test_abort_leaves_destination_untouched(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with open(path, "w") as f:
+            f.write("previous good output\n")
+        sink = AtomicTextSink(path, id_width=4)
+        sink.write_link(1, 2)
+        sink.abort()
+        assert not sink.committed
+        assert open(path).read() == "previous good output\n"
+        assert not os.path.exists(path + ".part")
+
+    def test_context_manager_aborts_on_exception(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with pytest.raises(RuntimeError):
+            with AtomicTextSink(path, id_width=4) as sink:
+                sink.write_link(1, 2)
+                raise RuntimeError("mid-join crash")
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".part")
+
+    def test_context_manager_publishes_on_success(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with AtomicTextSink(path, id_width=4) as sink:
+            sink.write_group([1, 2, 3])
+        assert sink.committed
+        assert os.path.getsize(path) > 0
+
+    def test_close_idempotent(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        sink = AtomicTextSink(path, id_width=4)
+        sink.write_link(1, 2)
+        sink.close()
+        sink.close()
+        sink.abort()  # after commit: no-op, file stays
+        assert os.path.exists(path)
+
+
+class _FailNTimesSink(CollectSink):
+    """Raises OSError on the first ``n`` write attempts, then succeeds."""
+
+    def __init__(self, n, **kw):
+        super().__init__(**kw)
+        self.remaining = n
+        self.attempts = 0
+
+    def write_link(self, i, j):
+        self.attempts += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise OSError("transient")
+        super().write_link(i, j)
+
+
+class TestRetryingSink:
+    def test_transparent_when_inner_healthy(self):
+        inner = CollectSink(id_width=4)
+        sink = RetryingSink(inner, sleep=lambda _s: None)
+        sink.write_link(1, 2)
+        sink.write_group([3, 4, 5])
+        sink.close()
+        assert inner.links == [(1, 2)]
+        assert sink.retries == 0
+
+    def test_recovers_from_transient_failures(self):
+        inner = _FailNTimesSink(3, id_width=4)
+        sink = RetryingSink(inner, max_retries=4, sleep=lambda _s: None)
+        sink.write_link(1, 2)
+        assert inner.links == [(1, 2)]
+        assert sink.retries == 3
+        assert inner.attempts == 4
+        # Accounting charged exactly once despite four attempts.
+        assert inner.stats.links_emitted == 1
+
+    def test_exhaustion_raises_sink_io_error(self):
+        inner = _FailNTimesSink(100, id_width=4)
+        sink = RetryingSink(inner, max_retries=2, sleep=lambda _s: None)
+        with pytest.raises(SinkIOError, match="after 3 attempts"):
+            sink.write_link(1, 2)
+        assert inner.links == []
+
+    def test_backoff_is_exponential_and_capped(self):
+        delays = []
+        inner = _FailNTimesSink(100, id_width=4)
+        sink = RetryingSink(
+            inner, max_retries=5, base_delay=0.1, max_delay=0.5,
+            sleep=delays.append,
+        )
+        with pytest.raises(SinkIOError):
+            sink.write_link(1, 2)
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_inner_sink_io_error_is_final(self):
+        class Fatal(CollectSink):
+            def write_link(self, i, j):
+                raise SinkIOError("disk is gone")
+
+        sink = RetryingSink(Fatal(id_width=4), sleep=lambda _s: None)
+        with pytest.raises(SinkIOError, match="disk is gone"):
+            sink.write_link(1, 2)
+        assert sink.retries == 0  # no pointless retries of a final error
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(ValueError):
+            RetryingSink(CollectSink(id_width=4), max_retries=-1)
