@@ -1,25 +1,42 @@
 #!/usr/bin/env python
-"""Fault-injection demo: crash a checkpointed join, resume it, verify.
+"""Fault-injection demos: crash a join, recover it, verify exactness.
 
-Runs the compact similarity join three times over the same data:
+Three scenarios, selected with ``--scenario``:
 
-1. an uninterrupted reference run writing the paper's text output;
-2. a checkpointed run whose sink fails on a seeded schedule — every
-   crash is survived by resuming from the journal;
-3. a verification pass proving the recovered file is byte-identical to
-   the reference and that its expanded link set equals the brute-force
-   join (Theorems 1 and 2 across a crash).
+``sink`` (default)
+    The original demo: a checkpointed serial join whose sink fails on a
+    seeded schedule — every crash is survived by resuming from the
+    journal.
+
+``worker``
+    A parallel join whose worker processes are SIGKILLed on chosen
+    tasks; the supervisor respawns them and retries, and the output is
+    still byte-identical to the serial run.
+
+``pool``
+    The hardest case: a checkpointed *parallel* join is SIGKILLed as a
+    whole process group mid-run (supervisor and workers all die at
+    once), then resumed with a *different* worker count — and the
+    recovered file is byte-identical to the uninterrupted reference.
+
+Every scenario ends with the same verification pass: byte-identical
+output and an expanded link set equal to the brute-force join
+(Theorems 1 and 2 across a crash).
 
 Usage::
 
-    PYTHONPATH=src python scripts/chaos_demo.py [--seed 7] [--n 2000]
+    PYTHONPATH=src python scripts/chaos_demo.py [--scenario sink|worker|pool]
+                                                [--seed 7] [--n 2000]
 """
 
 import argparse
 import filecmp
 import os
+import signal
+import subprocess
 import sys
 import tempfile
+import time
 
 import numpy as np
 
@@ -27,34 +44,32 @@ from repro.api import similarity_join
 from repro.core.results import TextSink
 from repro.core.verify import brute_force_links
 from repro.io.writer import width_for
-from repro.resilience.chaos import FailurePlan, FlakySink
+from repro.resilience.chaos import FailurePlan, FlakySink, FlakyWorker
 from repro.resilience.checkpoint import CheckpointedJoin
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--seed", type=int, default=7, help="chaos seed")
-    parser.add_argument("--n", type=int, default=2000, help="points")
-    parser.add_argument("--eps", type=float, default=0.03, help="query range")
-    parser.add_argument("--rate", type=float, default=0.003,
-                        help="per-write failure probability")
-    args = parser.parse_args()
-
-    pts = np.random.default_rng(args.seed).random((args.n, 2))
-    workdir = tempfile.mkdtemp(prefix="chaos_demo_")
-    reference = os.path.join(workdir, "reference.txt")
-    recovered = os.path.join(workdir, "recovered.txt")
-
-    print(f"dataset        : {args.n} uniform points, eps={args.eps:g}")
-
-    # 1 -- uninterrupted reference run
-    sink = TextSink(reference, id_width=width_for(args.n))
-    similarity_join(pts, args.eps, algorithm="csj", g=10, sink=sink)
+def _reference_run(pts, eps, path):
+    sink = TextSink(path, id_width=width_for(len(pts)))
+    similarity_join(pts, eps, algorithm="csj", g=10, sink=sink)
     sink.close()
-    print(f"reference run  : {os.path.getsize(reference)} bytes "
-          f"-> {reference}")
+    print(f"reference run  : {os.path.getsize(path)} bytes -> {path}")
 
-    # 2 -- chaos run: seeded sink failures, resume after every crash
+
+def _verify(pts, eps, reference, recovered, result):
+    identical = filecmp.cmp(reference, recovered, shallow=False)
+    exact = brute_force_links(pts, eps)
+    lossless = result.expanded_links() == exact
+    print(f"byte-identical : {identical}")
+    print(f"links lossless : {lossless} ({len(exact)} pairs vs brute force)")
+    if identical and lossless:
+        print("PASS: recovery is exact")
+        return 0
+    print("FAIL: recovered output diverges")
+    return 1
+
+
+def _scenario_sink(args, pts, reference, recovered):
+    """Seeded sink failures in a serial checkpointed run."""
     crashes = 0
     while True:
         plan = FailurePlan(seed=args.seed + crashes, rate=args.rate)
@@ -72,19 +87,92 @@ def main() -> int:
                 print("chaos run      : FAILED (no forward progress)")
                 return 1
     print(f"chaos run      : survived {crashes} injected crash(es)")
+    return _verify(pts, args.eps, reference, recovered, result)
 
-    # 3 -- verify losslessness across all those crashes
-    identical = filecmp.cmp(reference, recovered, shallow=False)
-    exact = brute_force_links(pts, args.eps)
-    lossless = result.expanded_links() == exact
-    print(f"byte-identical : {identical}")
-    print(f"links lossless : {lossless} "
-          f"({len(exact)} pairs vs brute force)")
-    if identical and lossless:
-        print("PASS: recovery is exact")
-        return 0
-    print("FAIL: recovered output diverges")
-    return 1
+
+def _scenario_worker(args, pts, reference, recovered):
+    """SIGKILL individual workers mid-task; the supervisor recovers."""
+    from repro.parallel import parallel_join
+
+    fault = FlakyWorker(kill_at=(1, 3), seed=args.seed, max_failures=2)
+    sink = TextSink(recovered, id_width=width_for(len(pts)))
+    result = parallel_join(
+        pts, args.eps, algorithm="csj", g=10, workers=2, sink=sink,
+        fault=fault,
+    )
+    sink.close()
+    print("chaos run      : workers SIGKILLed on tasks 1 and 3; "
+          "pool respawned and retried")
+    return _verify(pts, args.eps, reference, recovered, result)
+
+
+def _scenario_pool(args, pts, reference, recovered):
+    """SIGKILL the whole pool mid-run; resume with fewer workers."""
+    journal = recovered + ".journal"
+    code = (
+        "import numpy as np\n"
+        "from repro.resilience.checkpoint import CheckpointedJoin\n"
+        f"pts = np.random.default_rng({args.seed}).random(({args.n}, 2))\n"
+        f"CheckpointedJoin(pts, {args.eps}, {recovered!r}, algorithm='csj',"
+        " g=10, cadence=4, workers=4).run()\n"
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", code],
+        env=dict(os.environ),
+        preexec_fn=os.setsid,  # own process group: one SIGKILL nukes all
+    )
+    # Wait for the first durable checkpoint record, then kill everything.
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        if os.path.exists(journal):
+            with open(journal) as f:
+                if sum(1 for _ in f) >= 2:  # header + at least one ckpt
+                    break
+        time.sleep(0.002)
+    if proc.poll() is None:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        proc.wait()
+        print("chaos run      : pool of 4 workers SIGKILLed mid-join "
+              "(supervisor and workers died together)")
+    else:
+        print("chaos run      : pool finished before the kill landed "
+              "(resume below is a no-op)")
+    result = CheckpointedJoin(
+        pts, args.eps, recovered, algorithm="csj", g=10, cadence=4, workers=2,
+    ).run(resume=True)
+    print("resume         : journal replayed, finished with 2 workers")
+    return _verify(pts, args.eps, reference, recovered, result)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="sink",
+                        choices=["sink", "worker", "pool"],
+                        help="which failure mode to inject")
+    parser.add_argument("--seed", type=int, default=7, help="chaos seed")
+    parser.add_argument("--n", type=int, default=2000, help="points")
+    parser.add_argument("--eps", type=float, default=0.03, help="query range")
+    parser.add_argument("--rate", type=float, default=0.003,
+                        help="per-write failure probability (sink scenario)")
+    args = parser.parse_args()
+
+    pts = np.random.default_rng(args.seed).random((args.n, 2))
+    workdir = tempfile.mkdtemp(prefix="chaos_demo_")
+    reference = os.path.join(workdir, "reference.txt")
+    recovered = os.path.join(workdir, "recovered.txt")
+
+    print(f"scenario       : {args.scenario}")
+    print(f"dataset        : {args.n} uniform points, eps={args.eps:g}")
+    _reference_run(pts, args.eps, reference)
+
+    runner = {
+        "sink": _scenario_sink,
+        "worker": _scenario_worker,
+        "pool": _scenario_pool,
+    }[args.scenario]
+    return runner(args, pts, reference, recovered)
 
 
 if __name__ == "__main__":

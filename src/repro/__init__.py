@@ -56,9 +56,12 @@ from repro.errors import (
     BudgetExceededError,
     CheckpointCorruptError,
     InvalidInputError,
+    PoisonTaskError,
     ReproError,
     SinkIOError,
+    WorkerPoolError,
 )
+from repro.parallel import SupervisorConfig, parallel_join
 from repro.geometry import MBR, Ball, Metric, get_metric
 from repro.index import (
     MTree,
@@ -75,6 +78,7 @@ from repro.resilience import (
     CheckpointedJoin,
     FlakyIndex,
     FlakySink,
+    FlakyWorker,
     RetryingSink,
 )
 from repro.stats import JoinStats, correlation_dimension
@@ -87,6 +91,8 @@ __all__ = [
     "similarity_join",
     "spatial_join_datasets",
     "build_index",
+    "parallel_join",
+    "SupervisorConfig",
     # algorithms
     "ssj",
     "ncsj",
@@ -135,10 +141,13 @@ __all__ = [
     "BudgetExceededError",
     "SinkIOError",
     "CheckpointCorruptError",
+    "PoisonTaskError",
+    "WorkerPoolError",
     "Budget",
     "CheckpointedJoin",
     "AtomicTextSink",
     "RetryingSink",
     "FlakySink",
     "FlakyIndex",
+    "FlakyWorker",
 ]

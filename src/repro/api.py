@@ -77,6 +77,8 @@ def similarity_join(
     max_entries: int = 64,
     bulk: Optional[str] = "str",
     budget: Optional["Budget"] = None,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> JoinResult:
     """Similarity self-join of ``points`` with query range ``eps``.
 
@@ -98,6 +100,11 @@ def similarity_join(
     :class:`~repro.errors.InvalidInputError` before any tree code runs.
     ``budget`` bounds the run cooperatively; see
     :class:`~repro.resilience.budget.Budget`.
+
+    ``workers`` > 1 executes the join across a supervised worker pool
+    (:func:`repro.parallel.parallel_join`) with ``task_timeout`` as the
+    per-task wall-clock limit; output is byte-identical to the serial
+    run.  ``workers`` of ``None``, 0 or 1 stays in-process.
     """
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
@@ -106,6 +113,30 @@ def similarity_join(
     eps = validate_eps(eps)
     if g < 0:
         raise InvalidInputError(f"window size g must be >= 0, got {g}")
+    if workers is not None and workers < 0:
+        raise InvalidInputError(f"workers must be >= 0, got {workers}")
+    if workers is not None and workers > 1:
+        from repro.parallel import parallel_join  # deferred: heavy machinery
+
+        if isinstance(index, SpatialIndex):
+            raise InvalidInputError(
+                "parallel execution rebuilds the index per worker; pass the "
+                "index *name*, not a prebuilt index"
+            )
+        return parallel_join(
+            points,
+            eps,
+            algorithm=algorithm,
+            g=g,
+            workers=workers,
+            sink=sink,
+            index=index,
+            metric=metric,
+            max_entries=max_entries,
+            bulk=bulk,
+            budget=budget,
+            task_timeout=task_timeout,
+        )
     if algorithm == "egrid":
         return egrid_join(
             points, eps, compact=False, sink=sink, metric=metric, budget=budget

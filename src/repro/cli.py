@@ -51,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--algorithm",
         default="csj",
-        choices=["ssj", "ncsj", "csj", "egrid", "egrid-csj"],
+        choices=["ssj", "ncsj", "csj", "egrid", "egrid-csj", "pbsm", "pbsm-csj"],
     )
     join.add_argument("-g", type=int, default=10, help="CSJ merge window")
     join.add_argument("--index", default="rstar", choices=["rtree", "rstar", "mtree"])
@@ -83,6 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="abort cleanly once the output exceeds N bytes "
         "(SSJ falls back to the analytic estimate instead)",
+    )
+    join.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute across a supervised pool of N worker processes "
+        "(heartbeats, retry, straggler re-dispatch); output is "
+        "byte-identical to the serial run.  Omit, 0 or 1 stays serial",
+    )
+    join.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock limit in the worker pool; a task that "
+        "exceeds it is killed and retried on a fresh worker",
     )
 
     experiment = sub.add_parser("experiment", help="reproduce a paper artifact")
@@ -157,6 +174,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
             metric=args.metric,
             journal_path=args.checkpoint,
             budget=budget,
+            workers=args.workers,
+            task_timeout=args.task_timeout,
         )
         result = job.run(resume=args.resume)
     else:
@@ -172,6 +191,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
             metric=args.metric,
             sink=sink,
             budget=budget,
+            workers=args.workers,
+            task_timeout=args.task_timeout,
         )
         if sink is not None:
             sink.close()
@@ -290,8 +311,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     Failures map to distinct nonzero exit codes (see
     :mod:`repro.errors`): invalid input 2, budget exceeded 3, sink I/O 4,
-    corrupt checkpoint/index file 5, any other error 1 — with a one-line
-    message on stderr instead of a traceback.
+    corrupt checkpoint/index file 5, poison task 6, worker pool failure 7,
+    any other error 1 — with a one-line message on stderr instead of a
+    traceback.
     """
     from repro.errors import ReproError
 

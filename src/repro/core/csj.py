@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.core.groups import GroupBuffer
+from repro.core.groups import GroupBuffer, apply_events
 from repro.core.results import CollectSink, JoinResult, JoinSink
 from repro.errors import BudgetExceededError
 from repro.index.base import IndexNode, SpatialIndex
@@ -41,7 +41,134 @@ from repro.stats.counters import JoinStats
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
-__all__ = ["csj", "ncsj"]
+__all__ = [
+    "csj",
+    "ncsj",
+    "group_bounds",
+    "pair_group_bounds",
+    "node_group_delta",
+    "pair_group_delta",
+    "leaf_self_delta",
+    "leaf_cross_delta",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pure per-task executors
+#
+# Each returns a serializable description of the task's output (the event
+# vocabulary of :func:`repro.core.groups.apply_events`) instead of writing
+# anywhere, so the same code runs in-process, under the checkpointed
+# driver, and inside parallel worker processes.
+# ---------------------------------------------------------------------------
+
+def group_bounds(points: np.ndarray, node: IndexNode, ids: np.ndarray) -> tuple[list, list]:
+    """Group boundary corners for an early-stopped subtree.
+
+    R-tree nodes already carry an MBR ("these shapes can be used
+    directly", Section V-A); ball-shaped nodes fall back to the exact
+    point MBR, which costs one pass over points we are about to write
+    out anyway.
+    """
+    if isinstance(node, RectNode):
+        return node.mbr.lo.tolist(), node.mbr.hi.tolist()
+    pts = points[ids]
+    return pts.min(axis=0).tolist(), pts.max(axis=0).tolist()
+
+
+def pair_group_bounds(
+    points: np.ndarray, n1: IndexNode, n2: IndexNode, ids: np.ndarray
+) -> tuple[list, list]:
+    """Combined boundary corners for an early-stopped node pair."""
+    if isinstance(n1, RectNode) and isinstance(n2, RectNode):
+        mbr = n1.mbr.union(n2.mbr)
+        return mbr.lo.tolist(), mbr.hi.tolist()
+    pts = points[ids]
+    return pts.min(axis=0).tolist(), pts.max(axis=0).tolist()
+
+
+def node_group_delta(points: np.ndarray, node: IndexNode) -> list:
+    """Events for one early-stopped subtree (Figure 3, lines 2-3)."""
+    ids = node.subtree_ids()
+    if len(ids) < 2:
+        return []  # a singleton implies no links; nothing to report
+    lo, hi = group_bounds(points, node, ids)
+    return [("group", ids.tolist(), lo, hi)]
+
+
+def pair_group_delta(points: np.ndarray, n1: IndexNode, n2: IndexNode) -> list:
+    """Events for one early-stopped node pair (Figure 3, lines 20-21)."""
+    ids = np.concatenate([n1.subtree_ids(), n2.subtree_ids()])
+    if len(ids) < 2:
+        return []
+    lo, hi = pair_group_bounds(points, n1, n2, ids)
+    return [("group", ids.tolist(), lo, hi)]
+
+
+def leaf_self_delta(
+    points: np.ndarray, metric, eps: float, ids, g: int
+) -> tuple[list, int]:
+    """Pure leaf self-join task: ``(events, distance_computations)``.
+
+    With ``g == 0`` residual links go out individually (SSJ / N-CSJ);
+    with ``g > 0`` they are described as a ``linkseq`` to be routed
+    through the merge window by whoever applies the events.
+    """
+    id_arr = np.asarray(ids, dtype=np.intp)
+    k = len(id_arr)
+    if k < 2:
+        return [], 0
+    pts = points[id_arr]
+    dists = metric.self_pairwise(pts)
+    dc = k * (k - 1) // 2
+    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
+    if not len(rows):
+        return [], dc
+    if g == 0:
+        return [("links", id_arr[rows], id_arr[cols])], dc
+    coords = pts.tolist()
+    id_list = id_arr.tolist()
+    rows = rows.tolist()
+    cols = cols.tolist()
+    return [(
+        "linkseq",
+        [id_list[r] for r in rows],
+        [id_list[c] for c in cols],
+        [coords[r] for r in rows],
+        [coords[c] for c in cols],
+    )], dc
+
+
+def leaf_cross_delta(
+    points: np.ndarray, metric, eps: float, ids1, ids2, g: int
+) -> tuple[list, int]:
+    """Pure leaf cross-join twin of :func:`leaf_self_delta`."""
+    arr1 = np.asarray(ids1, dtype=np.intp)
+    arr2 = np.asarray(ids2, dtype=np.intp)
+    if not len(arr1) or not len(arr2):
+        return [], 0
+    pts1 = points[arr1]
+    pts2 = points[arr2]
+    dists = metric.pairwise(pts1, pts2)
+    dc = len(arr1) * len(arr2)
+    rows, cols = np.nonzero(dists < eps)
+    if not len(rows):
+        return [], dc
+    if g == 0:
+        return [("links", arr1[rows], arr2[cols])], dc
+    coords1 = pts1.tolist()
+    coords2 = pts2.tolist()
+    id1 = arr1.tolist()
+    id2 = arr2.tolist()
+    rows = rows.tolist()
+    cols = cols.tolist()
+    return [(
+        "linkseq",
+        [id1[r] for r in rows],
+        [id2[c] for c in cols],
+        [coords1[r] for r in rows],
+        [coords2[c] for c in cols],
+    )], dc
 
 
 def csj(
@@ -147,39 +274,13 @@ class _CSJRunner:
     # ------------------------------------------------------------------
     # Group creation helpers
     # ------------------------------------------------------------------
-    def _group_bounds(self, node: IndexNode, ids: np.ndarray) -> tuple[list, list]:
-        """The group boundary corners for an early-stopped subtree.
-
-        R-tree nodes already carry an MBR ("these shapes can be used
-        directly", Section V-A); ball-shaped nodes fall back to the exact
-        point MBR, which costs one pass over points we are about to write
-        out anyway.
-        """
-        if isinstance(node, RectNode):
-            return node.mbr.lo.tolist(), node.mbr.hi.tolist()
-        pts = self.points[ids]
-        return pts.min(axis=0).tolist(), pts.max(axis=0).tolist()
-
     def _emit_node_group(self, node: IndexNode) -> None:
-        ids = node.subtree_ids()
         self.stats.early_stops += 1
-        if len(ids) < 2:
-            return  # a singleton implies no links; nothing to report
-        lo, hi = self._group_bounds(node, ids)
-        self.buffer.create_group(ids.tolist(), lo, hi)
+        apply_events(node_group_delta(self.points, node), self.sink, self.buffer)
 
     def _emit_pair_group(self, n1: IndexNode, n2: IndexNode) -> None:
-        ids = np.concatenate([n1.subtree_ids(), n2.subtree_ids()])
         self.stats.early_stops += 1
-        if len(ids) < 2:
-            return
-        if isinstance(n1, RectNode) and isinstance(n2, RectNode):
-            mbr = n1.mbr.union(n2.mbr)
-            lo, hi = mbr.lo.tolist(), mbr.hi.tolist()
-        else:
-            pts = self.points[ids]
-            lo, hi = pts.min(axis=0).tolist(), pts.max(axis=0).tolist()
-        self.buffer.create_group(ids.tolist(), lo, hi)
+        apply_events(pair_group_delta(self.points, n1, n2), self.sink, self.buffer)
 
     # ------------------------------------------------------------------
     # simJoin(TreeNode n) — Figure 3, lines 1-18
@@ -247,46 +348,15 @@ class _CSJRunner:
     # Leaf-level link routing — Figure 3 lines 5-10 and 23-29
     # ------------------------------------------------------------------
     def _leaf_self(self, node: IndexNode) -> None:
-        ids = node.entry_ids
-        k = len(ids)
-        if k < 2:
-            return
-        pts = self.points[np.asarray(ids, dtype=np.intp)]
-        dists = self.metric.self_pairwise(pts)
-        self.stats.distance_computations += k * (k - 1) // 2
-        rows, cols = np.nonzero(np.triu(dists < self.eps, k=1))
-        if not len(rows):
-            return
-        if self.g == 0:
-            # N-CSJ: residual links go out individually, exactly like SSJ.
-            id_arr = np.asarray(ids, dtype=np.intp)
-            self.sink.write_links(id_arr[rows], id_arr[cols])
-            return
-        coords = pts.tolist()
-        add_link = self.buffer.add_link
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            add_link(ids[r], ids[c], coords[r], coords[c])
+        events, dc = leaf_self_delta(
+            self.points, self.metric, self.eps, node.entry_ids, self.g
+        )
+        self.stats.distance_computations += dc
+        apply_events(events, self.sink, self.buffer)
 
     def _leaf_cross(self, n1: IndexNode, n2: IndexNode) -> None:
-        ids1 = n1.entry_ids
-        ids2 = n2.entry_ids
-        if not len(ids1) or not len(ids2):
-            return
-        pts1 = self.points[np.asarray(ids1, dtype=np.intp)]
-        pts2 = self.points[np.asarray(ids2, dtype=np.intp)]
-        dists = self.metric.pairwise(pts1, pts2)
-        self.stats.distance_computations += len(ids1) * len(ids2)
-        rows, cols = np.nonzero(dists < self.eps)
-        if not len(rows):
-            return
-        if self.g == 0:
-            self.sink.write_links(
-                np.asarray(ids1, dtype=np.intp)[rows],
-                np.asarray(ids2, dtype=np.intp)[cols],
-            )
-            return
-        coords1 = pts1.tolist()
-        coords2 = pts2.tolist()
-        add_link = self.buffer.add_link
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            add_link(ids1[r], ids2[c], coords1[r], coords2[c])
+        events, dc = leaf_cross_delta(
+            self.points, self.metric, self.eps, n1.entry_ids, n2.entry_ids, self.g
+        )
+        self.stats.distance_computations += dc
+        apply_events(events, self.sink, self.buffer)

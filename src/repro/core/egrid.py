@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.core.groups import GroupBuffer
+from repro.core.groups import GroupBuffer, apply_events
 from repro.core.results import CollectSink, JoinResult, JoinSink
 from repro.errors import BudgetExceededError
 from repro.geometry.metrics import Metric, get_metric
@@ -38,7 +38,14 @@ from repro.io.writer import width_for
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
-__all__ = ["egrid_join", "egrid_sorted_join", "grid_cells", "epsilon_grid_order"]
+__all__ = [
+    "egrid_join",
+    "egrid_sorted_join",
+    "grid_cells",
+    "epsilon_grid_order",
+    "cell_self_delta",
+    "cell_pair_delta",
+]
 
 
 def grid_cells(points: np.ndarray, eps: float) -> dict[tuple[int, ...], np.ndarray]:
@@ -232,54 +239,99 @@ def egrid_sorted_join(
     )
 
 
-def _join_cell_self(pts, ids, eps, metric, compact, buffer, sink, stats) -> None:
+def cell_self_delta(
+    pts: np.ndarray, ids: np.ndarray, eps: float, metric, compact: bool
+) -> tuple[list, int, int, int]:
+    """Pure grid-cell self-join task.
+
+    Returns ``(events, distance_computations, mbr_checks, early_stops)``
+    — the event list is the vocabulary of
+    :func:`repro.core.groups.apply_events`.  In compact mode residual
+    links are a ``linkseq`` (the JoinBuffer extension routes them through
+    the merge window even at ``g = 0``, where a two-point group
+    degenerates to a plain link).
+    """
     k = len(ids)
     if k < 2:
-        return
+        return [], 0, 0, 0
     cell_pts = pts[ids]
     if compact:
-        stats.mbr_checks += 1
         lo = cell_pts.min(axis=0)
         hi = cell_pts.max(axis=0)
         if metric.norm(hi - lo) < eps:
             # Early termination as a group: the whole cell qualifies.
-            stats.early_stops += 1
-            buffer.create_group(ids.tolist(), lo.tolist(), hi.tolist())
-            return
+            return [("group", ids.tolist(), lo.tolist(), hi.tolist())], 0, 1, 1
     dists = metric.self_pairwise(cell_pts)
-    stats.distance_computations += k * (k - 1) // 2
+    dc = k * (k - 1) // 2
     rows, cols = np.nonzero(np.triu(dists < eps, k=1))
-    if compact:
-        coords = cell_pts.tolist()
-        id_list = ids.tolist()
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            buffer.add_link(id_list[r], id_list[c], coords[r], coords[c])
-    elif len(rows):
-        sink.write_links(ids[rows], ids[cols])
+    if not compact:
+        if not len(rows):
+            return [], dc, 0, 0
+        return [("links", ids[rows], ids[cols])], dc, 0, 0
+    if not len(rows):
+        return [], dc, 1, 0
+    coords = cell_pts.tolist()
+    id_list = ids.tolist()
+    rows = rows.tolist()
+    cols = cols.tolist()
+    return [(
+        "linkseq",
+        [id_list[r] for r in rows],
+        [id_list[c] for c in cols],
+        [coords[r] for r in rows],
+        [coords[c] for c in cols],
+    )], dc, 1, 0
 
 
-def _join_cell_pair(pts, ids_a, ids_b, eps, metric, compact, buffer, sink, stats) -> None:
+def cell_pair_delta(
+    pts: np.ndarray, ids_a: np.ndarray, ids_b: np.ndarray, eps: float,
+    metric, compact: bool,
+) -> tuple[list, int, int, int]:
+    """Pure grid-cell pair-join twin of :func:`cell_self_delta`."""
     pts_a = pts[ids_a]
     pts_b = pts[ids_b]
     if compact:
-        stats.mbr_checks += 1
         both = np.vstack([pts_a, pts_b])
         lo = both.min(axis=0)
         hi = both.max(axis=0)
         if metric.norm(hi - lo) < eps:
-            stats.early_stops += 1
             ids = np.concatenate([ids_a, ids_b])
-            buffer.create_group(ids.tolist(), lo.tolist(), hi.tolist())
-            return
+            return [("group", ids.tolist(), lo.tolist(), hi.tolist())], 0, 1, 1
     dists = metric.pairwise(pts_a, pts_b)
-    stats.distance_computations += len(ids_a) * len(ids_b)
+    dc = len(ids_a) * len(ids_b)
     rows, cols = np.nonzero(dists < eps)
-    if compact:
-        coords_a = pts_a.tolist()
-        coords_b = pts_b.tolist()
-        id_a = ids_a.tolist()
-        id_b = ids_b.tolist()
-        for r, c in zip(rows.tolist(), cols.tolist()):
-            buffer.add_link(id_a[r], id_b[c], coords_a[r], coords_b[c])
-    elif len(rows):
-        sink.write_links(ids_a[rows], ids_b[cols])
+    if not compact:
+        if not len(rows):
+            return [], dc, 0, 0
+        return [("links", ids_a[rows], ids_b[cols])], dc, 0, 0
+    if not len(rows):
+        return [], dc, 1, 0
+    coords_a = pts_a.tolist()
+    coords_b = pts_b.tolist()
+    id_a = ids_a.tolist()
+    id_b = ids_b.tolist()
+    rows = rows.tolist()
+    cols = cols.tolist()
+    return [(
+        "linkseq",
+        [id_a[r] for r in rows],
+        [id_b[c] for c in cols],
+        [coords_a[r] for r in rows],
+        [coords_b[c] for c in cols],
+    )], dc, 1, 0
+
+
+def _join_cell_self(pts, ids, eps, metric, compact, buffer, sink, stats) -> None:
+    events, dc, checks, stops = cell_self_delta(pts, ids, eps, metric, compact)
+    stats.mbr_checks += checks
+    stats.early_stops += stops
+    stats.distance_computations += dc
+    apply_events(events, sink, buffer)
+
+
+def _join_cell_pair(pts, ids_a, ids_b, eps, metric, compact, buffer, sink, stats) -> None:
+    events, dc, checks, stops = cell_pair_delta(pts, ids_a, ids_b, eps, metric, compact)
+    stats.mbr_checks += checks
+    stats.early_stops += stops
+    stats.distance_computations += dc
+    apply_events(events, sink, buffer)

@@ -35,7 +35,37 @@ from repro.geometry.mbr import MBR
 from repro.geometry.metrics import Metric, get_metric
 from repro.stats.counters import JoinStats
 
-__all__ = ["Group", "GroupBuffer"]
+__all__ = ["Group", "GroupBuffer", "apply_events"]
+
+
+def apply_events(events, sink: JoinSink, buffer: Optional["GroupBuffer"]) -> None:
+    """Replay a task's output events against a sink and group window.
+
+    Events are the serializable output description produced by the pure
+    per-task executors (``*_delta`` functions in the algorithm modules):
+
+    * ``("links", ids_i, ids_j)`` — residual links written individually;
+    * ``("group", ids, lo, hi)`` — an early-stopped group;
+    * ``("linkseq", ids_i, ids_j, coords_i, coords_j)`` — residual links
+      routed one by one through the CSJ(g) merge window.
+
+    Because replay performs exactly the sink/window calls the in-place
+    algorithms make, applying a task sequence in canonical order is
+    byte-identical to executing it in place — the property the parallel
+    executor's canonical-order merge relies on.
+    """
+    for event in events:
+        kind = event[0]
+        if kind == "links":
+            sink.write_links(event[1], event[2])
+        elif kind == "group":
+            buffer.create_group(event[1], event[2], event[3])
+        elif kind == "linkseq":
+            add_link = buffer.add_link
+            for i, j, p_i, p_j in zip(event[1], event[2], event[3], event[4]):
+                add_link(i, j, p_i, p_j)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown task event kind {kind!r}")
 
 
 class Group:

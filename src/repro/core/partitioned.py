@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.core.groups import GroupBuffer
+from repro.core.groups import GroupBuffer, apply_events
 from repro.core.results import CollectSink, JoinResult, JoinSink
 from repro.errors import BudgetExceededError
 from repro.geometry.metrics import Metric, get_metric
@@ -37,11 +37,102 @@ from repro.io.writer import width_for
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
-__all__ = ["pbsm_join", "spatial_hash_join"]
+__all__ = ["pbsm_join", "spatial_hash_join", "pbsm_plan", "partition_delta"]
 
 
 def _partition_grid(pts: np.ndarray, cell: float) -> np.ndarray:
     return np.floor(pts / cell).astype(np.int64)
+
+
+def pbsm_plan(
+    pts: np.ndarray, eps: float, partitions_per_axis: Optional[int] = None
+) -> tuple[dict[tuple[int, ...], np.ndarray], np.ndarray, int]:
+    """Deterministic PBSM partitioning: replicated cells plus home map.
+
+    Returns ``(cells, home_of, partitions_per_axis)``; ``cells`` maps each
+    partition key to its replicated member ids and iterates in sorted key
+    order — the canonical task order, independent of who executes the
+    partitions.  Requires at least one point.
+    """
+    n, dim = pts.shape
+    if partitions_per_axis is None:
+        # Aim for ~sqrt(n) partitions, but keep cells >= 2 eps wide so
+        # replication stays bounded.
+        target = max(1, int(round(n ** (1.0 / (2 * dim)))))
+        span = float(pts.max() - pts.min()) or 1.0
+        partitions_per_axis = max(1, min(target, int(span / (2 * eps)) or 1))
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span[span == 0.0] = 1.0
+    cell = span / partitions_per_axis
+
+    # Replicate: a point joins every partition its eps-ball touches.
+    members: dict[tuple[int, ...], list[int]] = {}
+    low_idx = np.floor((pts - lo - eps) / cell).astype(np.int64)
+    high_idx = np.floor((pts + eps - lo) / cell).astype(np.int64)
+    np.clip(low_idx, 0, partitions_per_axis - 1, out=low_idx)
+    np.clip(high_idx, 0, partitions_per_axis - 1, out=high_idx)
+    for pid in range(n):
+        ranges = [range(low_idx[pid, d], high_idx[pid, d] + 1) for d in range(dim)]
+        for key in itertools.product(*ranges):
+            members.setdefault(key, []).append(pid)
+
+    home_of = np.floor((pts - lo) / cell).astype(np.int64)
+    np.clip(home_of, 0, partitions_per_axis - 1, out=home_of)
+    cells = {
+        key: np.asarray(members[key], dtype=np.intp) for key in sorted(members)
+    }
+    return cells, home_of, partitions_per_axis
+
+
+def partition_delta(
+    pts: np.ndarray,
+    ids: np.ndarray,
+    key: np.ndarray,
+    home_of: np.ndarray,
+    eps: float,
+    metric,
+    compact: bool,
+) -> tuple[list, int]:
+    """Pure PBSM partition task: ``(events, distance_computations)``.
+
+    Applies the reference-point de-duplication before emitting, so the
+    partitions' events can be replayed in any canonical order without
+    double-reporting replicated pairs.
+    """
+    k = len(ids)
+    if k < 2:
+        return [], 0
+    part_pts = pts[ids]
+    dists = metric.self_pairwise(part_pts)
+    dc = k * (k - 1) // 2
+    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
+    if not len(rows):
+        return [], dc
+    # Reference-point de-duplication: the pair belongs to this partition
+    # iff the partition of the *smaller id's home cell*... PBSM uses the
+    # pair's reference point; we use the home cell of the pair's first
+    # point by id, which is equivalent (each pair claimed exactly once).
+    id_rows = ids[rows]
+    id_cols = ids[cols]
+    first = np.minimum(id_rows, id_cols)
+    owned = (home_of[first] == key).all(axis=1)
+    id_rows, id_cols = id_rows[owned], id_cols[owned]
+    rows, cols = rows[owned], cols[owned]
+    if not len(rows):
+        return [], dc
+    if not compact:
+        return [("links", id_rows, id_cols)], dc
+    coords = part_pts.tolist()
+    rows = rows.tolist()
+    cols = cols.tolist()
+    return [(
+        "linkseq",
+        id_rows.tolist(),
+        id_cols.tolist(),
+        [coords[r] for r in rows],
+        [coords[c] for c in cols],
+    )], dc
 
 
 def pbsm_join(
@@ -75,38 +166,11 @@ def pbsm_join(
         budget.start()
     start_time = time.perf_counter()
     if n > 1:
-        if partitions_per_axis is None:
-            # Aim for ~sqrt(n) partitions, but keep cells >= 2 eps wide so
-            # replication stays bounded.
-            target = max(1, int(round(n ** (1.0 / (2 * dim)))))
-            span = float(pts.max() - pts.min()) or 1.0
-            partitions_per_axis = max(1, min(target, int(span / (2 * eps)) or 1))
-        lo = pts.min(axis=0)
-        span = pts.max(axis=0) - lo
-        span[span == 0.0] = 1.0
-        cell = span / partitions_per_axis
-
-        # Replicate: a point joins every partition its eps-ball touches.
-        cells: dict[tuple[int, ...], list[int]] = {}
-        low_idx = np.floor((pts - lo - eps) / cell).astype(np.int64)
-        high_idx = np.floor((pts + eps - lo) / cell).astype(np.int64)
-        np.clip(low_idx, 0, partitions_per_axis - 1, out=low_idx)
-        np.clip(high_idx, 0, partitions_per_axis - 1, out=high_idx)
-        for pid in range(n):
-            ranges = [
-                range(low_idx[pid, d], high_idx[pid, d] + 1) for d in range(dim)
-            ]
-            for key in itertools.product(*ranges):
-                cells.setdefault(key, []).append(pid)
-
-        home_of = np.floor((pts - lo) / cell).astype(np.int64)
-        np.clip(home_of, 0, partitions_per_axis - 1, out=home_of)
-
+        cells, home_of, partitions_per_axis = pbsm_plan(pts, eps, partitions_per_axis)
         try:
-            for key in sorted(cells):
+            for key, ids in cells.items():
                 if budget is not None:
                     budget.check(stats)
-                ids = np.asarray(cells[key], dtype=np.intp)
                 _join_partition(
                     pts, ids, np.asarray(key), home_of, eps, m,
                     compact, buffer, sink, stats,
@@ -131,36 +195,9 @@ def pbsm_join(
 def _join_partition(
     pts, ids, key, home_of, eps, metric, compact, buffer, sink, stats
 ) -> None:
-    k = len(ids)
-    if k < 2:
-        return
-    part_pts = pts[ids]
-    dists = metric.self_pairwise(part_pts)
-    stats.distance_computations += k * (k - 1) // 2
-    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
-    if not len(rows):
-        return
-    # Reference-point de-duplication: the pair belongs to this partition
-    # iff the partition of the *smaller id's home cell*... PBSM uses the
-    # pair's reference point; we use the home cell of the pair's first
-    # point by id, which is equivalent (each pair claimed exactly once).
-    id_rows = ids[rows]
-    id_cols = ids[cols]
-    first = np.minimum(id_rows, id_cols)
-    owned = (home_of[first] == key).all(axis=1)
-    id_rows, id_cols = id_rows[owned], id_cols[owned]
-    rows, cols = rows[owned], cols[owned]
-    if not len(rows):
-        return
-    if compact:
-        coords = part_pts.tolist()
-        add_link = buffer.add_link
-        for r, c, a, b in zip(
-            rows.tolist(), cols.tolist(), id_rows.tolist(), id_cols.tolist()
-        ):
-            add_link(a, b, coords[r], coords[c])
-    else:
-        sink.write_links(id_rows, id_cols)
+    events, dc = partition_delta(pts, ids, key, home_of, eps, metric, compact)
+    stats.distance_computations += dc
+    apply_events(events, sink, buffer)
 
 
 def spatial_hash_join(

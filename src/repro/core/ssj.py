@@ -29,7 +29,38 @@ from repro.stats.counters import JoinStats
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
-__all__ = ["ssj"]
+__all__ = ["ssj", "leaf_self_pairs", "leaf_cross_pairs"]
+
+
+def leaf_self_pairs(
+    points: np.ndarray, metric, eps: float, ids
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Pure leaf self-join: qualifying pairs of ``ids`` and the distance count.
+
+    Returns ``(ids_i, ids_j, distance_computations)`` without touching any
+    sink or counter — the building block shared by the recursive runners,
+    the checkpointed driver, and the parallel worker executors.
+    """
+    id_arr = np.asarray(ids, dtype=np.intp)
+    k = len(id_arr)
+    if k < 2:
+        return id_arr[:0], id_arr[:0], 0
+    dists = metric.self_pairwise(points[id_arr])
+    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
+    return id_arr[rows], id_arr[cols], k * (k - 1) // 2
+
+
+def leaf_cross_pairs(
+    points: np.ndarray, metric, eps: float, ids1, ids2
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Pure leaf cross-join twin of :func:`leaf_self_pairs`."""
+    arr1 = np.asarray(ids1, dtype=np.intp)
+    arr2 = np.asarray(ids2, dtype=np.intp)
+    if not len(arr1) or not len(arr2):
+        return arr1[:0], arr2[:0], 0
+    dists = metric.pairwise(points[arr1], points[arr2])
+    rows, cols = np.nonzero(dists < eps)
+    return arr1[rows], arr2[cols], len(arr1) * len(arr2)
 
 
 def ssj(
@@ -182,23 +213,17 @@ class _SSJRunner:
 
     # -- leaf-level pair enumeration ----------------------------------------
     def _leaf_self(self, node: IndexNode) -> None:
-        ids = np.asarray(node.entry_ids, dtype=np.intp)
-        k = len(ids)
-        if k < 2:
-            return
-        dists = self.metric.self_pairwise(self.points[ids])
-        self.stats.distance_computations += k * (k - 1) // 2
-        rows, cols = np.nonzero(np.triu(dists < self.eps, k=1))
-        if len(rows):
-            self.sink.write_links(ids[rows], ids[cols])
+        ids_i, ids_j, dc = leaf_self_pairs(
+            self.points, self.metric, self.eps, node.entry_ids
+        )
+        self.stats.distance_computations += dc
+        if len(ids_i):
+            self.sink.write_links(ids_i, ids_j)
 
     def _leaf_cross(self, n1: IndexNode, n2: IndexNode) -> None:
-        ids1 = np.asarray(n1.entry_ids, dtype=np.intp)
-        ids2 = np.asarray(n2.entry_ids, dtype=np.intp)
-        if not len(ids1) or not len(ids2):
-            return
-        dists = self.metric.pairwise(self.points[ids1], self.points[ids2])
-        self.stats.distance_computations += len(ids1) * len(ids2)
-        rows, cols = np.nonzero(dists < self.eps)
-        if len(rows):
-            self.sink.write_links(ids1[rows], ids2[cols])
+        ids_i, ids_j, dc = leaf_cross_pairs(
+            self.points, self.metric, self.eps, n1.entry_ids, n2.entry_ids
+        )
+        self.stats.distance_computations += dc
+        if len(ids_i):
+            self.sink.write_links(ids_i, ids_j)

@@ -27,6 +27,8 @@ __all__ = [
     "BudgetExceededError",
     "SinkIOError",
     "CheckpointCorruptError",
+    "PoisonTaskError",
+    "WorkerPoolError",
     "validate_points",
     "validate_eps",
 ]
@@ -94,6 +96,48 @@ class CheckpointCorruptError(ReproError):
         super().__init__(f"{self.path}: {reason}")
 
     exit_code = 5
+
+
+class PoisonTaskError(ReproError):
+    """One work unit repeatedly killed or failed its worker and was quarantined.
+
+    ``task_id`` identifies the offending unit in the canonical task
+    sequence; ``attempts`` counts how many executions were tried before
+    quarantine; ``last_error`` describes the final failure (``None`` when
+    the worker died without reporting).  When the rest of the join
+    completed, the scheduler attaches everything else as :attr:`partial`
+    (a :class:`~repro.core.results.JoinResult`).
+    """
+
+    exit_code = 6
+
+    def __init__(
+        self,
+        task_id: int,
+        attempts: int,
+        last_error: Optional[str] = None,
+        message: Optional[str] = None,
+    ):
+        self.task_id = int(task_id)
+        self.attempts = int(attempts)
+        self.last_error = last_error
+        #: Partial result from the non-poisoned tasks, attached by the scheduler.
+        self.partial = None
+        detail = f": {last_error}" if last_error else ""
+        super().__init__(
+            message
+            or f"task {task_id} quarantined after {attempts} failed attempts{detail}"
+        )
+
+
+class WorkerPoolError(ReproError):
+    """The parallel worker pool itself failed (not one specific task).
+
+    Raised when workers cannot be (re)spawned or the pool loses all
+    workers for reasons unrelated to any single work unit.
+    """
+
+    exit_code = 7
 
 
 def validate_points(points: object, name: str = "points") -> np.ndarray:

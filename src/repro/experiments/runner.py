@@ -78,6 +78,12 @@ class ExperimentConfig:
     write_output: bool = False
     #: Directory for TextSink files when ``write_output`` is set.
     output_dir: str = "."
+    #: Execute measured runs across a supervised worker pool of this
+    #: size (None / 0 / 1 stays serial).  Output is byte-identical to the
+    #: serial run, so measurements remain comparable.
+    workers: Optional[int] = None
+    #: Per-task wall-clock limit in the worker pool.
+    task_timeout: Optional[float] = None
 
     def build_tree(self, points: np.ndarray) -> SpatialIndex:
         """Build the configured index over ``points``."""
@@ -152,7 +158,28 @@ def run_algorithm(
             max_output_bytes=config.ssj_byte_budget if algorithm == "ssj" else None,
         )
         try:
-            if algorithm == "ssj":
+            if config.workers is not None and config.workers > 1:
+                if algorithm not in ("ssj", "ncsj", "csj"):
+                    raise ValueError(f"unknown algorithm {algorithm!r}")
+                # The pool rebuilds the index per worker from the recipe,
+                # so the prebuilt tree only supplies the points here.
+                from repro.api import similarity_join
+
+                result = similarity_join(
+                    tree.points,
+                    eps,
+                    algorithm=algorithm,
+                    g=g,
+                    index=config.index,
+                    metric=config.metric,
+                    sink=sink,
+                    max_entries=config.max_entries,
+                    bulk=config.bulk if config.index != "mtree" else None,
+                    budget=budget,
+                    workers=config.workers,
+                    task_timeout=config.task_timeout,
+                )
+            elif algorithm == "ssj":
                 result = ssj(tree, eps, sink=sink, budget=budget)
             elif algorithm == "ncsj":
                 result = csj(

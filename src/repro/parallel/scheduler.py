@@ -1,0 +1,325 @@
+"""Deterministic work scheduling over a supervised worker pool.
+
+:class:`WorkScheduler` turns the canonical task sequence of a
+:class:`~repro.parallel.tasks.TaskState` into a supervised parallel run:
+
+* **Dispatch** — tasks go out in canonical order to idle workers; task
+  ids are positions in the sequence, so sharding is deterministic and
+  independent of worker count.
+* **Canonical-order merge** — results are buffered until the merge
+  cursor reaches them, then applied (events + counters) through the one
+  sink / CSJ merge window in task order.  Workers race; the output
+  cannot: bytes are identical for any worker count, including 1.
+* **Retry with decorrelated jitter** — a failed task (worker error,
+  crash, timeout) is requeued after a randomised backoff; the jitter RNG
+  affects *timing only*, never output.
+* **Poison quarantine** — a task whose failures exceed
+  ``max_task_retries`` is quarantined instead of retried forever and the
+  run surfaces :class:`~repro.errors.PoisonTaskError`.  With
+  ``skip_poisoned=True`` (the API path) every other task still completes
+  and merges first, so the partial result is maximal; with ``False``
+  (the checkpointed path) the merge halts at the poisoned task so the
+  journal cursor remains exact.
+* **Straggler speculation** — when the queue is empty and idle workers
+  remain, a task running far beyond the median duration is re-dispatched
+  to a second worker; the first result wins, duplicates are dropped.
+* **Budget enforcement** — the parent checks its
+  :class:`~repro.resilience.budget.Budget` at every merge and publishes
+  totals to :class:`~repro.parallel.shared.SharedCounters` so workers
+  refuse tasks the moment a cap or deadline is breached anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import statistics
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.groups import GroupBuffer
+from repro.core.results import JoinSink
+from repro.errors import PoisonTaskError, WorkerPoolError
+from repro.parallel.shared import SharedCounters
+from repro.parallel.supervisor import Supervisor, SupervisorConfig
+from repro.parallel.tasks import TaskState
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import FlakyWorker
+from repro.stats.counters import JoinStats
+
+__all__ = ["WorkScheduler"]
+
+#: Maximum concurrent executions of one task (primary + speculative copy).
+_MAX_COPIES = 2
+
+
+class WorkScheduler:
+    """Run ``state``'s tasks [start_cursor, n) through a supervised pool.
+
+    :meth:`run` drives the pool to completion (or a raised budget/poison/
+    pool error).  ``self.merged`` is always the contiguous merged prefix
+    of the canonical sequence — the resumable cursor.
+    """
+
+    def __init__(
+        self,
+        state: TaskState,
+        sink: JoinSink,
+        config: SupervisorConfig,
+        stats: JoinStats,
+        buffer: Optional[GroupBuffer] = None,
+        budget: Optional[Budget] = None,
+        fault: Optional[FlakyWorker] = None,
+        start_cursor: int = 0,
+        skip_poisoned: bool = True,
+    ):
+        self.state = state
+        self.sink = sink
+        self.config = config
+        self.stats = stats
+        self.buffer = buffer
+        self.budget = budget
+        self.fault = fault
+        self.skip_poisoned = skip_poisoned
+        self.merged = int(start_cursor)
+
+        n = len(state.tasks)
+        self._n = n
+        self._pending: deque[int] = deque(range(self.merged, n))
+        self._delayed: list[tuple[float, int]] = []  # (ready_at, task_id) heap
+        self._completed: dict[int, tuple[list, tuple]] = {}
+        self._failures: dict[int, int] = {}
+        self._last_error: dict[int, str] = {}
+        self._backoff: dict[int, float] = {}
+        self._quarantined: dict[int, str] = {}
+        self._in_flight: dict[int, int] = {}  # task_id -> live copies
+        self._durations: list[float] = []
+        self._rng = random.Random(config.seed)
+        self._shared: Optional[SharedCounters] = None
+        self.speculated: int = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, on_task_merged: Optional[Callable[[int], None]] = None) -> None:
+        """Execute and merge every remaining task.
+
+        ``on_task_merged(cursor)`` fires after each task's delta lands in
+        the sink (cursor = tasks merged so far) — the checkpoint hook.
+        """
+        if self.budget is not None:
+            self.budget.start()
+        if self.merged >= self._n:
+            return
+
+        self._shared = self._make_shared()
+        supervisor = Supervisor(
+            self.state.spec, self.config, shared=self._shared, fault=self.fault
+        )
+        if self._shared is not None:
+            self._shared.start()
+            self._shared.publish(self.stats)
+        supervisor.start()
+        try:
+            while not self._done():
+                self._promote_ready_retries()
+                self._dispatch(supervisor)
+                for kind, handle, payload in supervisor.poll(timeout=0.05):
+                    if kind == "died":
+                        self._on_worker_died(supervisor, handle)
+                    else:
+                        self._on_message(handle, payload)
+                for handle, reason in supervisor.reap_unresponsive():
+                    self._on_worker_killed(supervisor, handle, reason)
+                self._merge(on_task_merged)
+                if self.budget is not None:
+                    # Deadline must fire even while every task is stuck
+                    # in flight and nothing reaches the merge cursor.
+                    self.budget.enforce(self.stats)
+                if not supervisor.workers and not self._done():
+                    # All workers gone and nothing respawned: fatal.
+                    raise WorkerPoolError(
+                        "worker pool is empty with tasks outstanding"
+                    )
+        finally:
+            supervisor.shutdown()
+
+        if self._quarantined:
+            task_id = min(self._quarantined)
+            raise PoisonTaskError(
+                task_id,
+                self._failures.get(task_id, 0),
+                self._quarantined[task_id],
+            )
+
+    # ------------------------------------------------------------------
+    # Completion predicates
+    # ------------------------------------------------------------------
+    def _done(self) -> bool:
+        if self.merged >= self._n:
+            return True
+        if not self.skip_poisoned and self.merged in self._quarantined:
+            # The checkpointed path cannot merge past a poisoned task;
+            # stop as soon as the cursor hits it.
+            return True
+        return False
+
+    def _runnable(self, task_id: int) -> bool:
+        return (
+            task_id not in self._completed
+            and task_id not in self._quarantined
+            and task_id >= self.merged
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch, speculation, retries
+    # ------------------------------------------------------------------
+    def _promote_ready_retries(self) -> None:
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, task_id = heapq.heappop(self._delayed)
+            if self._runnable(task_id):
+                self._pending.appendleft(task_id)
+
+    def _dispatch(self, supervisor: Supervisor) -> None:
+        idle = [h for h in supervisor.workers if h.idle]
+        while idle and self._pending:
+            task_id = self._pending.popleft()
+            if not self._runnable(task_id):
+                continue
+            handle = idle.pop()
+            if supervisor.dispatch(handle, task_id):
+                self._in_flight[task_id] = self._in_flight.get(task_id, 0) + 1
+            else:
+                self._pending.appendleft(task_id)
+                idle.append(handle)
+                break
+        if idle and not self._pending and not self._delayed and self.config.speculate:
+            self._speculate(supervisor, idle)
+
+    def _speculate(self, supervisor: Supervisor, idle: list) -> None:
+        """Duplicate the slowest running task onto an idle worker."""
+        threshold = self.config.straggler_min_seconds
+        if self._durations:
+            threshold = max(
+                threshold,
+                self.config.straggler_factor * statistics.median(self._durations),
+            )
+        now = time.monotonic()
+        candidates = sorted(
+            (
+                h
+                for h in supervisor.workers
+                if h.current is not None
+                and now - h.started_at > threshold
+                and self._in_flight.get(h.current, 0) < _MAX_COPIES
+                and self._runnable(h.current)
+            ),
+            key=lambda h: h.started_at,
+        )
+        for slow in candidates:
+            if not idle:
+                break
+            handle = idle.pop()
+            if supervisor.dispatch(handle, slow.current):
+                self._in_flight[slow.current] += 1
+                self.speculated += 1
+
+    def _record_failure(self, task_id: int, reason: str) -> None:
+        if not self._runnable(task_id):
+            return  # a speculative copy already finished it
+        count = self._failures.get(task_id, 0) + 1
+        self._failures[task_id] = count
+        self._last_error[task_id] = reason
+        if count > self.config.max_task_retries:
+            self._quarantined[task_id] = reason
+            return
+        # Decorrelated jitter: sleep ~ U(base, 3 * previous), capped.
+        prev = self._backoff.get(task_id, self.config.backoff_base)
+        delay = min(
+            self.config.backoff_max,
+            self._rng.uniform(self.config.backoff_base, prev * 3),
+        )
+        self._backoff[task_id] = delay
+        heapq.heappush(self._delayed, (time.monotonic() + delay, task_id))
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def _on_message(self, handle, payload) -> None:
+        kind = payload[0]
+        if kind in ("hb", "ready", "fatal"):
+            if kind == "ready":
+                handle.ready = True
+            return
+        task_id = payload[1]
+        if handle.current == task_id:
+            handle.current = None
+        self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
+        if kind == "ok":
+            _, _, events, counters, elapsed = payload
+            self._durations.append(elapsed)
+            if self._runnable(task_id):
+                self._completed[task_id] = (events, counters)
+        elif kind == "err":
+            self._record_failure(task_id, payload[2])
+        elif kind == "breach":
+            # The worker refused the task because a shared limit tripped.
+            # Re-check authoritatively; if the parent's budget agrees it
+            # raises here, otherwise (a momentary race) requeue the task.
+            if self.budget is not None:
+                self.budget.enforce(self.stats)
+            if self._runnable(task_id):
+                self._pending.appendleft(task_id)
+
+    def _on_worker_died(self, supervisor: Supervisor, handle) -> None:
+        task_id = handle.current
+        if task_id is not None:
+            self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
+            self._record_failure(
+                task_id, f"worker w{handle.wid} died while executing the task"
+            )
+        if not self._done():
+            supervisor.respawn()
+
+    def _on_worker_killed(self, supervisor: Supervisor, handle, reason: str) -> None:
+        task_id = handle.current
+        if task_id is not None:
+            self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
+            self._record_failure(task_id, reason)
+        if not self._done():
+            supervisor.respawn()
+
+    # ------------------------------------------------------------------
+    # Canonical-order merge
+    # ------------------------------------------------------------------
+    def _make_shared(self) -> Optional[SharedCounters]:
+        import multiprocessing as mp
+
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        return SharedCounters.from_budget(mp.get_context(method), self.budget)
+
+    def _merge(self, on_task_merged: Optional[Callable[[int], None]]) -> None:
+        shared = self._shared
+        progressed = False
+        while self.merged < self._n:
+            task_id = self.merged
+            if task_id in self._completed:
+                events, counters = self._completed.pop(task_id)
+                if self.budget is not None:
+                    self.budget.check(self.stats)
+                self.state.apply(events, counters, self.sink, self.buffer, self.stats)
+                self.merged += 1
+                progressed = True
+                if on_task_merged is not None:
+                    on_task_merged(self.merged)
+            elif self.skip_poisoned and task_id in self._quarantined:
+                self.merged += 1  # hole acknowledged; partial result only
+                progressed = True
+            else:
+                break
+        if progressed and shared is not None:
+            shared.publish(self.stats)

@@ -1,0 +1,342 @@
+"""Worker-pool supervision: spawn, heartbeat, detect, kill, respawn.
+
+The :class:`Supervisor` owns the *processes* of the parallel executor —
+the dispatch/retry/merge policy lives in
+:class:`~repro.parallel.scheduler.WorkScheduler`.  Each worker runs
+:func:`_worker_main`: it rebuilds the join's :class:`TaskState` from the
+picklable spec, then serves ``("task", id)`` requests over a duplex
+pipe, replying with the task's serializable delta.  A daemon thread
+heartbeats over the same pipe so the parent can distinguish a *frozen*
+process (no heartbeats — e.g. SIGSTOP, a stuck syscall) from a *slow
+task* (heartbeats continue; the per-task timeout governs instead).
+
+Worker death is a normal event: the parent observes the process
+sentinel / a dropped pipe, reassigns the in-flight task and respawns a
+replacement.  Fault injection for tests rides along: a
+:class:`~repro.resilience.chaos.FlakyWorker` is shipped to every worker,
+with its kill budget bound to a shared counter so the budget survives
+the very process deaths it causes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidInputError, WorkerPoolError
+from repro.parallel.shared import SharedCounters
+from repro.parallel.tasks import JoinSpec
+from repro.resilience.chaos import FlakyWorker
+
+__all__ = ["SupervisorConfig", "Supervisor"]
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables of the supervised pool (all times in seconds)."""
+
+    #: Number of worker processes.
+    workers: int = 2
+    #: Per-task wall-clock limit; ``None`` disables the timeout.
+    task_timeout: Optional[float] = None
+    #: Worker heartbeat period.
+    heartbeat_interval: float = 0.1
+    #: Silence longer than this marks a worker frozen and gets it killed.
+    heartbeat_grace: float = 5.0
+    #: Failed executions tolerated per task before quarantine
+    #: (``2`` -> at most 3 attempts / worker respawns per poison task).
+    max_task_retries: int = 2
+    #: Decorrelated-jitter retry backoff bounds.
+    backoff_base: float = 0.05
+    backoff_max: float = 1.0
+    #: Speculative re-dispatch of stragglers (first result wins).
+    speculate: bool = True
+    straggler_factor: float = 4.0
+    straggler_min_seconds: float = 1.0
+    #: Seed for the retry-jitter RNG (timing only — never affects output).
+    seed: int = 0
+    #: multiprocessing start method; ``None`` prefers ``fork``.
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise InvalidInputError(f"workers must be >= 1, got {self.workers}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise InvalidInputError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.max_task_retries < 0:
+            raise InvalidInputError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+
+
+def _worker_main(
+    conn,
+    spec: JoinSpec,
+    shared: Optional[SharedCounters],
+    heartbeat_interval: float,
+    fault: Optional[FlakyWorker],
+) -> None:
+    """Entry point of one worker process."""
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                with send_lock:
+                    conn.send(("hb",))
+            except OSError:  # parent gone; nothing left to do
+                return
+
+    heart = threading.Thread(target=beat, daemon=True)
+    heart.start()
+
+    try:
+        state = spec.build_state()
+    except BaseException as exc:  # noqa: BLE001 - reported, then exit
+        with send_lock:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        return
+
+    with send_lock:
+        conn.send(("ready", len(state.tasks)))
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        task_id = msg[1]
+        if shared is not None:
+            kind = shared.breached()
+            if kind is not None:
+                with send_lock:
+                    conn.send(("breach", task_id, kind))
+                continue
+        try:
+            if fault is not None:
+                fault.maybe_fail(task_id)
+            started = time.perf_counter()
+            events, counters = state.execute(task_id)
+            elapsed = time.perf_counter() - started
+        except BaseException as exc:  # noqa: BLE001 - reported as task failure
+            with send_lock:
+                conn.send(("err", task_id, f"{type(exc).__name__}: {exc}"))
+            continue
+        with send_lock:
+            conn.send(("ok", task_id, events, counters, elapsed))
+    stop.set()
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "wid", "proc", "conn", "ready", "current", "started_at", "last_seen",
+    )
+
+    def __init__(self, wid: int, proc, conn):
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.ready = False
+        #: Task id currently executing on this worker (``None`` = idle).
+        self.current: Optional[int] = None
+        self.started_at = 0.0
+        self.last_seen = time.monotonic()
+
+    @property
+    def idle(self) -> bool:
+        return self.ready and self.current is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Worker(w{self.wid}, pid={self.proc.pid}, current={self.current})"
+
+
+class Supervisor:
+    """Owns the worker processes: spawn, watch, kill, respawn, shut down."""
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        config: SupervisorConfig,
+        shared: Optional[SharedCounters] = None,
+        fault: Optional[FlakyWorker] = None,
+    ):
+        self.spec = spec
+        self.config = config
+        method = config.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        self.ctx = mp.get_context(method)
+        self.shared = shared
+        self.fault = fault
+        if fault is not None and fault.active and fault.max_failures is not None:
+            # The kill budget must outlive the workers it kills.
+            fault.bind_shared_budget(self.ctx.Value("q", int(fault.max_failures)))
+        self.workers: list[_WorkerHandle] = []
+        self.respawns = 0
+        self._next_wid = 0
+        self._fatal: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for _ in range(self.config.workers):
+            self.workers.append(self._spawn())
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self.spec,
+                self.shared,
+                self.config.heartbeat_interval,
+                self.fault,
+            ),
+            daemon=True,
+        )
+        try:
+            proc.start()
+        except OSError as exc:  # pragma: no cover - resource exhaustion
+            raise WorkerPoolError(f"cannot spawn worker process: {exc}") from exc
+        child_conn.close()
+        handle = _WorkerHandle(self._next_wid, proc, parent_conn)
+        self._next_wid += 1
+        return handle
+
+    def kill(self, handle: _WorkerHandle) -> None:
+        """Hard-stop one worker (SIGKILL) and forget it."""
+        if handle in self.workers:
+            self.workers.remove(handle)
+        try:
+            if handle.proc.is_alive():
+                os.kill(handle.proc.pid, signal.SIGKILL)
+        except (OSError, AttributeError):  # pragma: no cover - already gone
+            pass
+        handle.proc.join(timeout=5.0)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def respawn(self) -> _WorkerHandle:
+        """Spawn a replacement worker and track the respawn count."""
+        self.respawns += 1
+        handle = self._spawn()
+        self.workers.append(handle)
+        return handle
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite request, then SIGKILL stragglers."""
+        for handle in self.workers:
+            try:
+                handle.conn.send(("stop",))
+            except OSError:
+                pass
+        deadline = time.monotonic() + 1.0
+        for handle in self.workers:
+            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for handle in list(self.workers):
+            self.kill(handle)
+        self.workers.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch and events
+    # ------------------------------------------------------------------
+    def dispatch(self, handle: _WorkerHandle, task_id: int) -> bool:
+        """Send one task to a worker; ``False`` if the pipe is already dead."""
+        try:
+            handle.conn.send(("task", task_id))
+        except OSError:
+            return False
+        handle.current = task_id
+        handle.started_at = time.monotonic()
+        return True
+
+    def poll(self, timeout: float) -> list[tuple[str, _WorkerHandle, tuple]]:
+        """Collect worker events: ``("msg", handle, payload)`` / ``("died", handle, ())``.
+
+        Waits up to ``timeout`` for pipe traffic or process death; drains
+        every readable pipe completely so heartbeats never back up.
+        """
+        events: list[tuple[str, _WorkerHandle, tuple]] = []
+        by_conn = {h.conn: h for h in self.workers}
+        by_sentinel = {h.proc.sentinel: h for h in self.workers}
+        try:
+            ready = mp.connection.wait(
+                list(by_conn) + list(by_sentinel), timeout=timeout
+            )
+        except OSError:  # pragma: no cover - racing close
+            ready = []
+        now = time.monotonic()
+        dead: list[_WorkerHandle] = []
+        for obj in ready:
+            handle = by_conn.get(obj)
+            if handle is None:
+                sentinel_handle = by_sentinel.get(obj)
+                if sentinel_handle is not None and sentinel_handle not in dead:
+                    dead.append(sentinel_handle)
+                continue
+            # Drain the pipe; EOF means the process died mid-write.
+            try:
+                while handle.conn.poll():
+                    payload = handle.conn.recv()
+                    handle.last_seen = now
+                    if payload[0] == "fatal":
+                        self._fatal = payload[1]
+                    events.append(("msg", handle, payload))
+            except (EOFError, OSError):
+                if handle not in dead:
+                    dead.append(handle)
+        for handle in dead:
+            if handle in self.workers:
+                self.workers.remove(handle)
+                handle.proc.join(timeout=5.0)
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                events.append(("died", handle, ()))
+        if self._fatal is not None:
+            raise WorkerPoolError(f"worker failed to initialise: {self._fatal}")
+        return events
+
+    def reap_unresponsive(self) -> list[tuple[_WorkerHandle, str]]:
+        """Kill workers that breached the task timeout or went silent.
+
+        Returns the killed handles with the reason, so the scheduler can
+        account the in-flight task as a failure.
+        """
+        now = time.monotonic()
+        victims: list[tuple[_WorkerHandle, str]] = []
+        timeout = self.config.task_timeout
+        grace = self.config.heartbeat_grace
+        for handle in list(self.workers):
+            if (
+                timeout is not None
+                and handle.current is not None
+                and now - handle.started_at > timeout
+            ):
+                victims.append(
+                    (handle, f"task timeout ({timeout:g}s) on worker w{handle.wid}")
+                )
+            elif grace is not None and now - handle.last_seen > grace:
+                victims.append(
+                    (handle, f"worker w{handle.wid} stopped heartbeating")
+                )
+        for handle, _reason in victims:
+            self.kill(handle)
+        return victims

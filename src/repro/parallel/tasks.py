@@ -1,0 +1,235 @@
+"""Serializable join specifications and pure per-task execution.
+
+The parallel executor rests on one structural fact: every supported join
+is a deterministic, flat sequence of *work units* (leaf self/cross
+joins, early-stopped subtree groups, grid cells, PBSM partitions) whose
+canonical order is fixed by the data and the configuration alone —
+PR 1's checkpoint layer already enumerates the tree and grid sequences,
+and :func:`repro.core.partitioned.pbsm_plan` fixes the partition order.
+
+:class:`JoinSpec` is the picklable recipe for one join.  Every process —
+the parent and each worker — independently materialises the *same*
+:class:`TaskState` from it (index builds, grid bucketing and partition
+planning are all deterministic), so a task is fully identified by its
+integer position in the canonical sequence.  Workers call
+:meth:`TaskState.execute` — a pure function returning serializable
+events (the :func:`repro.core.groups.apply_events` vocabulary) plus
+counter charges — and the parent replays the deltas *in canonical task
+order* through the single sink / CSJ merge window.  Output is therefore
+byte-identical for any worker count, including 1, by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.csj import (
+    leaf_cross_delta,
+    leaf_self_delta,
+    node_group_delta,
+    pair_group_delta,
+)
+from repro.core.egrid import cell_pair_delta, cell_self_delta
+from repro.core.groups import GroupBuffer, apply_events
+from repro.core.partitioned import partition_delta, pbsm_plan
+from repro.core.results import JoinSink
+from repro.errors import InvalidInputError, validate_eps, validate_points
+from repro.geometry.metrics import get_metric
+from repro.stats.counters import JoinStats
+
+__all__ = ["FAMILIES", "JoinSpec", "TaskState"]
+
+#: algorithm name -> (family, compact)
+FAMILIES = {
+    "ssj": ("tree", False),
+    "ncsj": ("tree", True),
+    "csj": ("tree", True),
+    "egrid": ("egrid", False),
+    "egrid-csj": ("egrid", True),
+    "pbsm": ("pbsm", False),
+    "pbsm-csj": ("pbsm", True),
+}
+
+
+@dataclass
+class JoinSpec:
+    """Everything needed to rebuild one join's task sequence anywhere.
+
+    All fields are plain picklable values (the metric is kept as its
+    *specification*, not a metric object) so the spec crosses process
+    boundaries under both the ``fork`` and ``spawn`` start methods.
+    """
+
+    points: np.ndarray
+    eps: float
+    algorithm: str = "csj"
+    g: int = 10
+    index: str = "rstar"
+    max_entries: int = 64
+    bulk: Optional[str] = "str"
+    metric: object = None
+    partitions_per_axis: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.points = validate_points(self.points)
+        self.eps = validate_eps(self.eps)
+        self.algorithm = str(self.algorithm).lower()
+        if self.algorithm not in FAMILIES:
+            raise InvalidInputError(
+                f"unknown or non-parallelizable algorithm {self.algorithm!r}; "
+                f"supported: {tuple(FAMILIES)}"
+            )
+        if self.g < 0:
+            raise InvalidInputError(f"window size g must be >= 0, got {self.g}")
+        if self.algorithm == "ncsj":
+            self.g = 0
+        self.g = int(self.g)
+
+    @property
+    def family(self) -> str:
+        return FAMILIES[self.algorithm][0]
+
+    @property
+    def compact(self) -> bool:
+        return FAMILIES[self.algorithm][1]
+
+    def label(self) -> str:
+        """The algorithm label recorded on the JoinResult (matches serial)."""
+        if self.algorithm == "csj":
+            return f"csj({self.g})" if self.g else "ncsj"
+        if self.algorithm == "egrid-csj":
+            return f"egrid-csj({self.g})" if self.g else "egrid-ncsj"
+        if self.algorithm == "pbsm-csj":
+            return f"pbsm-csj({self.g})" if self.g else "pbsm-ncsj"
+        return self.algorithm
+
+    def build_state(self) -> "TaskState":
+        """Materialise the canonical task sequence (deterministic)."""
+        return TaskState(self)
+
+
+class TaskState:
+    """One process's materialisation of a :class:`JoinSpec`.
+
+    Holds the data structures tasks execute against (tree / grid cells /
+    partition plan) and the canonical task list.  :meth:`execute` is pure
+    with respect to shared join state: it touches no sink and no group
+    window, so any process may run any task in any order.
+    """
+
+    def __init__(self, spec: JoinSpec):
+        self.spec = spec
+        self.points = spec.points
+        self.metric = get_metric(spec.metric)
+        self.eps = spec.eps
+        self.compact = spec.compact
+        self.family = spec.family
+        # Effective merge window: non-compact algorithms never merge.
+        self.g = spec.g if spec.compact else 0
+        self.home_of: Optional[np.ndarray] = None
+
+        if self.family == "tree":
+            from repro.api import build_index  # deferred: api imports core
+            from repro.resilience.checkpoint import _enumerate_tree_tasks
+
+            self.tree = build_index(
+                spec.points,
+                spec.index,
+                metric=self.metric,
+                max_entries=spec.max_entries,
+                bulk=spec.bulk,
+            )
+            self.tasks = _enumerate_tree_tasks(self.tree, self.eps, self.compact)
+            self.index_name = type(self.tree).name
+        elif self.family == "egrid":
+            from repro.resilience.checkpoint import _enumerate_egrid_tasks
+
+            self.tree = None
+            self.tasks = _enumerate_egrid_tasks(spec.points, self.eps)
+            self.index_name = "egrid"
+        else:  # pbsm
+            self.tree = None
+            if len(spec.points) > 1:
+                cells, self.home_of, _ = pbsm_plan(
+                    spec.points, self.eps, spec.partitions_per_axis
+                )
+                self.tasks = [("part", np.asarray(key), ids) for key, ids in cells.items()]
+            else:
+                self.tasks = []
+            self.index_name = "pbsm"
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    # ------------------------------------------------------------------
+    # Pure execution (workers)
+    # ------------------------------------------------------------------
+    def execute(self, task_id: int) -> tuple[list, tuple[int, int, int]]:
+        """Run one task; returns ``(events, (dc, mbr_checks, early_stops))``.
+
+        Pure: no sink writes, no window mutation, no stats mutation —
+        safe to run in any process and to run twice (speculation,
+        retries) with identical results.
+        """
+        task = self.tasks[task_id]
+        kind = task[0]
+        if self.family == "tree":
+            if kind == "group":
+                return node_group_delta(self.points, task[1]), (0, 0, 1)
+            if kind == "pgroup":
+                return pair_group_delta(self.points, task[1], task[2]), (0, 0, 1)
+            if kind == "self":
+                events, dc = leaf_self_delta(
+                    self.points, self.metric, self.eps, task[1].entry_ids, self.g
+                )
+                return events, (dc, 0, 0)
+            events, dc = leaf_cross_delta(
+                self.points, self.metric, self.eps,
+                task[1].entry_ids, task[2].entry_ids, self.g,
+            )
+            return events, (dc, 0, 0)
+        if self.family == "egrid":
+            if kind == "self":
+                events, dc, mbr, stops = cell_self_delta(
+                    self.points, task[1], self.eps, self.metric, self.compact
+                )
+            else:
+                events, dc, mbr, stops = cell_pair_delta(
+                    self.points, task[1], task[2], self.eps, self.metric, self.compact
+                )
+            return events, (dc, mbr, stops)
+        events, dc = partition_delta(
+            self.points, task[2], task[1], self.home_of, self.eps,
+            self.metric, self.compact,
+        )
+        return events, (dc, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Ordered replay (parent)
+    # ------------------------------------------------------------------
+    def make_buffer(self, sink: JoinSink, stats: JoinStats) -> Optional[GroupBuffer]:
+        """The parent-side merge window (``None`` for plain-link joins)."""
+        if not self.compact:
+            return None
+        dim = self.points.shape[1]
+        return GroupBuffer(
+            self.g, self.eps, sink, metric=self.metric, stats=stats, dim=dim
+        )
+
+    @staticmethod
+    def apply(
+        events: list,
+        counters: tuple[int, int, int],
+        sink: JoinSink,
+        buffer: Optional[GroupBuffer],
+        stats: JoinStats,
+    ) -> None:
+        """Replay one task's delta into the shared join state (parent only)."""
+        dc, mbr, stops = counters
+        stats.distance_computations += dc
+        stats.mbr_checks += mbr
+        stats.early_stops += stops
+        apply_events(events, sink, buffer)

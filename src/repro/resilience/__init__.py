@@ -15,12 +15,12 @@ VI).  This package turns that ad-hoc fallback into first-class machinery:
   sink offset, counters, in-flight group window) and restarts a killed
   run without losing or duplicating a single link;
 * :mod:`repro.resilience.chaos` — deterministic fault injection
-  (:class:`FlakySink`, :class:`FlakyIndex`) so tests can prove recovery
-  end-to-end instead of hoping.
+  (:class:`FlakySink`, :class:`FlakyIndex`, :class:`FlakyWorker`) so
+  tests can prove recovery end-to-end instead of hoping.
 """
 
 from repro.resilience.budget import Budget
-from repro.resilience.chaos import FailurePlan, FlakyIndex, FlakySink
+from repro.resilience.chaos import FailurePlan, FlakyIndex, FlakySink, FlakyWorker
 from repro.resilience.checkpoint import CheckpointedJoin, read_journal
 from repro.resilience.sinks import AtomicTextSink, DurableTextSink, RetryingSink
 
@@ -32,6 +32,7 @@ __all__ = [
     "FailurePlan",
     "FlakyIndex",
     "FlakySink",
+    "FlakyWorker",
     "RetryingSink",
     "read_journal",
 ]

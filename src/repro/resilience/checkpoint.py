@@ -39,20 +39,14 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.core.csj import _CSJRunner
-from repro.core.egrid import (
-    _join_cell_pair,
-    _join_cell_self,
-    _positive_neighbour_offsets,
-    grid_cells,
-)
+from repro.core.egrid import _positive_neighbour_offsets, grid_cells
 from repro.core.groups import Group, GroupBuffer
 from repro.core.results import JoinResult
-from repro.core.ssj import _SSJRunner
 from repro.errors import (
     BudgetExceededError,
     CheckpointCorruptError,
     InvalidInputError,
+    PoisonTaskError,
     validate_eps,
     validate_points,
 )
@@ -227,6 +221,8 @@ _ALGORITHMS = {
     "csj": ("tree", True),
     "egrid": ("egrid", False),
     "egrid-csj": ("egrid", True),
+    "pbsm": ("pbsm", False),
+    "pbsm-csj": ("pbsm", True),
 }
 
 
@@ -268,6 +264,11 @@ class CheckpointedJoin:
         cadence: int = 256,
         budget: Optional[Budget] = None,
         sink_wrapper: Optional[Callable] = None,
+        partitions_per_axis: Optional[int] = None,
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        fault: object = None,
+        supervisor_config: object = None,
     ):
         self.points = validate_points(points)
         self.eps = validate_eps(eps)
@@ -292,12 +293,29 @@ class CheckpointedJoin:
         self.cadence = max(0, int(cadence))
         self.budget = budget
         self.sink_wrapper = sink_wrapper
+        self.partitions_per_axis = partitions_per_axis
+        if workers is not None and workers < 0:
+            raise InvalidInputError(f"workers must be >= 0, got {workers}")
+        # Execution-only knobs: deliberately absent from the fingerprint,
+        # so a run checkpointed at one worker count resumes at any other.
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.fault = fault
+        self.supervisor_config = supervisor_config
 
     # -- identity ----------------------------------------------------------
     def fingerprint(self) -> dict:
-        """Configuration identity stored in (and checked against) the journal."""
+        """Configuration identity stored in (and checked against) the journal.
+
+        Covers exactly what determines the canonical task sequence and
+        the output bytes: data, range, algorithm, index/partitioning
+        configuration, metric.  Execution knobs — worker count, task
+        timeout, dispatch order, fault injection — are deliberately
+        excluded: a run checkpointed at ``workers=4`` must resume at
+        ``workers=1`` (or vice versa) with a byte-identical tail.
+        """
         family, compact = _ALGORITHMS[self.algorithm]
-        return {
+        fp = {
             "n": int(self.points.shape[0]),
             "dim": int(self.points.shape[1]),
             "points_crc": zlib.crc32(np.ascontiguousarray(self.points).tobytes())
@@ -305,11 +323,14 @@ class CheckpointedJoin:
             "eps": repr(self.eps),
             "algorithm": self.algorithm,
             "g": self.g if compact else None,
-            "index": self.index if family == "tree" else "egrid",
+            "index": self.index if family == "tree" else family,
             "max_entries": int(self.max_entries) if family == "tree" else None,
             "bulk": self.bulk if family == "tree" else None,
             "metric": get_metric(self.metric).name,
         }
+        if family == "pbsm":
+            fp["partitions_per_axis"] = self.partitions_per_axis
+        return fp
 
     # -- the run -----------------------------------------------------------
     def run(self, resume: bool = False) -> JoinResult:
@@ -364,35 +385,23 @@ class CheckpointedJoin:
         )
         sink = self.sink_wrapper(inner) if self.sink_wrapper is not None else inner
 
-        metric = get_metric(self.metric)
-        buffer: Optional[GroupBuffer] = None
-        if family == "tree":
-            from repro.api import build_index
+        from repro.parallel.tasks import JoinSpec
 
-            tree = build_index(
-                pts,
-                self.index,
-                metric=metric,
-                max_entries=self.max_entries,
-                bulk=self.bulk,
-            )
-            tasks = _enumerate_tree_tasks(tree, self.eps, compact)
-            if compact:
-                runner = _CSJRunner(tree, self.eps, self.g, sink, None)
-                buffer = runner.buffer
-                execute = self._tree_compact_executor(runner)
-            else:
-                runner = _SSJRunner(tree, self.eps, sink, None)
-                execute = self._tree_plain_executor(runner)
-            index_name = type(tree).name
-        else:
-            tasks = _enumerate_egrid_tasks(pts, self.eps)
-            g_eff = self.g if compact else 0
-            buffer = GroupBuffer(
-                g_eff, self.eps, sink, metric=metric, stats=stats, dim=pts.shape[1]
-            )
-            execute = self._egrid_executor(pts, metric, compact, buffer, sink, stats)
-            index_name = "egrid"
+        spec = JoinSpec(
+            points=pts,
+            eps=self.eps,
+            algorithm=self.algorithm,
+            g=self.g,
+            index=self.index,
+            max_entries=self.max_entries,
+            bulk=self.bulk,
+            metric=self.metric,
+            partitions_per_axis=self.partitions_per_axis,
+        )
+        state = spec.build_state()
+        tasks = state.tasks
+        buffer: Optional[GroupBuffer] = state.make_buffer(sink, stats)
+        index_name = state.index_name
 
         if cursor > len(tasks):
             raise CheckpointCorruptError(
@@ -408,37 +417,72 @@ class CheckpointedJoin:
         write_time_before = stats.write_time
         start = time.perf_counter()
         idx = cursor
+        scheduler = None
         emitted_mark = stats.links_emitted + stats.groups_emitted
+
+        def maybe_checkpoint(done: int) -> None:
+            # Checkpoint every ``cadence`` work units — or sooner when
+            # coarse tasks (large leaves) have emitted that much output
+            # since the last record, so the durable horizon tracks output
+            # volume, not just task count.
+            nonlocal emitted_mark
+            emitted = stats.links_emitted + stats.groups_emitted
+            if (
+                self.cadence
+                and done < len(tasks)
+                and (
+                    done % self.cadence == 0
+                    or emitted - emitted_mark >= self.cadence
+                )
+            ):
+                self._checkpoint(journal, inner, done, stats, buffer)
+                emitted_mark = emitted
+
         try:
             try:
-                for idx in range(cursor, len(tasks)):
-                    if budget is not None:
-                        budget.check(stats)
-                    execute(tasks[idx])
-                    done = idx + 1
-                    # Checkpoint every ``cadence`` work units — or sooner
-                    # when coarse tasks (large leaves) have emitted that
-                    # much output since the last record, so the durable
-                    # horizon tracks output volume, not just task count.
-                    emitted = stats.links_emitted + stats.groups_emitted
-                    if (
-                        self.cadence
-                        and done < len(tasks)
-                        and (
-                            done % self.cadence == 0
-                            or emitted - emitted_mark >= self.cadence
+                if self.workers is not None and self.workers > 1:
+                    from repro.parallel.scheduler import WorkScheduler
+
+                    scheduler = WorkScheduler(
+                        state,
+                        sink,
+                        self._pool_config(),
+                        stats=stats,
+                        buffer=buffer,
+                        budget=budget,
+                        fault=self.fault,
+                        start_cursor=cursor,
+                        # The journal cursor is the contiguous merged
+                        # prefix; a quarantined task must halt the merge,
+                        # not punch a hole in it.
+                        skip_poisoned=False,
+                    )
+                    try:
+                        scheduler.run(on_task_merged=maybe_checkpoint)
+                    except PoisonTaskError as exc:
+                        self._checkpoint(journal, inner, scheduler.merged, stats, buffer)
+                        self._finalize_timing(stats, start, write_time_before)
+                        exc.partial = JoinResult.from_sink(
+                            inner, eps=self.eps, algorithm=self._label(),
+                            g=self.g if compact else None, index_name=index_name,
                         )
-                    ):
-                        self._checkpoint(journal, inner, done, stats, buffer)
-                        emitted_mark = emitted
+                        raise
+                else:
+                    for idx in range(cursor, len(tasks)):
+                        if budget is not None:
+                            budget.check(stats)
+                        events, counters = state.execute(idx)
+                        state.apply(events, counters, sink, buffer, stats)
+                        maybe_checkpoint(idx + 1)
                 if buffer is not None:
                     buffer.flush()
                 self._checkpoint(journal, inner, len(tasks), stats, buffer, final=True)
             except BudgetExceededError as exc:
-                # The breach fired before executing task ``idx``: checkpoint
-                # the durable prefix so the run can resume later, then
-                # surface the partial result on the exception.
-                self._checkpoint(journal, inner, idx, stats, buffer)
+                # The breach fired before the cursor task was merged:
+                # checkpoint the durable prefix so the run can resume
+                # later, then surface the partial result on the exception.
+                safe = scheduler.merged if scheduler is not None else idx
+                self._checkpoint(journal, inner, safe, stats, buffer)
                 self._finalize_timing(stats, start, write_time_before)
                 exc.partial = JoinResult.from_sink(
                     inner, eps=self.eps, algorithm=self._label(),
@@ -464,50 +508,24 @@ class CheckpointedJoin:
             return f"csj({self.g})" if self.g else "ncsj"
         if self.algorithm == "egrid-csj":
             return f"egrid-csj({self.g})" if self.g else "egrid-ncsj"
+        if self.algorithm == "pbsm-csj":
+            return f"pbsm-csj({self.g})" if self.g else "pbsm-ncsj"
         return self.algorithm
+
+    def _pool_config(self):
+        """The supervisor configuration for parallel execution."""
+        if self.supervisor_config is not None:
+            return self.supervisor_config
+        from repro.parallel.supervisor import SupervisorConfig
+
+        return SupervisorConfig(
+            workers=int(self.workers), task_timeout=self.task_timeout
+        )
 
     @staticmethod
     def _finalize_timing(stats: JoinStats, start: float, write_time_before: float) -> None:
         elapsed = time.perf_counter() - start
         stats.compute_time += elapsed - (stats.write_time - write_time_before)
-
-    @staticmethod
-    def _tree_plain_executor(runner: _SSJRunner) -> Callable[[tuple], None]:
-        def execute(task: tuple) -> None:
-            if task[0] == "self":
-                runner._leaf_self(task[1])
-            else:
-                runner._leaf_cross(task[1], task[2])
-
-        return execute
-
-    @staticmethod
-    def _tree_compact_executor(runner: _CSJRunner) -> Callable[[tuple], None]:
-        def execute(task: tuple) -> None:
-            kind = task[0]
-            if kind == "group":
-                runner._emit_node_group(task[1])
-            elif kind == "pgroup":
-                runner._emit_pair_group(task[1], task[2])
-            elif kind == "self":
-                runner._leaf_self(task[1])
-            else:
-                runner._leaf_cross(task[1], task[2])
-
-        return execute
-
-    def _egrid_executor(self, pts, metric, compact, buffer, sink, stats) -> Callable[[tuple], None]:
-        eps = self.eps
-
-        def execute(task: tuple) -> None:
-            if task[0] == "self":
-                _join_cell_self(pts, task[1], eps, metric, compact, buffer, sink, stats)
-            else:
-                _join_cell_pair(
-                    pts, task[1], task[2], eps, metric, compact, buffer, sink, stats
-                )
-
-        return execute
 
     def _checkpoint(
         self,

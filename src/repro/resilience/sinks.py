@@ -23,13 +23,17 @@ the inner sink's shared :class:`~repro.stats.counters.JoinStats`.
 from __future__ import annotations
 
 import os
+import random
 import time
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.results import JoinSink, TextSink
 from repro.errors import SinkIOError
 from repro.io.writer import FixedWidthWriter
 from repro.stats.counters import JoinStats
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
 
 __all__ = ["AtomicTextSink", "DurableTextSink", "RetryingSink"]
 
@@ -120,12 +124,28 @@ class AtomicTextSink(TextSink):
 
 
 class RetryingSink(JoinSink):
-    """Bounded-exponential-backoff retries around a flaky inner sink.
+    """Bounded-backoff retries around a flaky inner sink.
 
     Each write is attempted up to ``1 + max_retries`` times; transient
-    ``OSError`` s are swallowed and retried after ``base_delay * 2**k``
-    seconds (capped at ``max_delay``).  When the budget is exhausted the
-    last error is wrapped in :class:`~repro.errors.SinkIOError`.
+    ``OSError`` s are swallowed and retried after a backoff pause, and
+    when the budget is exhausted the last error is wrapped in
+    :class:`~repro.errors.SinkIOError`.
+
+    With ``jitter`` (the default) pauses follow *decorrelated jitter*:
+    each is drawn uniformly from ``[base_delay, 3 * previous_pause]``,
+    capped at ``max_delay``.  Synchronized retry storms from many
+    writers decorrelate while the expected pause still grows
+    geometrically.  The draw uses a private ``random.Random(seed)`` —
+    backoff timing never touches global randomness or join output.
+    With ``jitter=False`` the pause is the deterministic
+    ``base_delay * 2**k`` (capped), which tests pin down exactly.
+
+    Two clocks bound the *total* time spent retrying, so retries can
+    never outlive the run's deadline: ``max_elapsed`` caps the seconds a
+    single ``_attempt`` may accumulate sleeping, and ``budget`` (a
+    :class:`~repro.resilience.budget.Budget` with a deadline) trims every
+    pause to the deadline's remaining seconds — once nothing remains,
+    the sink gives up immediately instead of sleeping through it.
 
     ``sleep`` is injectable so tests (and the chaos harness) run at full
     speed.  Retrying re-invokes the inner sink's public method, which is
@@ -142,20 +162,44 @@ class RetryingSink(JoinSink):
         base_delay: float = 0.01,
         max_delay: float = 1.0,
         sleep: Callable[[float], None] = time.sleep,
+        jitter: bool = True,
+        seed: int = 0,
+        max_elapsed: Optional[float] = None,
+        budget: Optional["Budget"] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if max_elapsed is not None and max_elapsed < 0:
+            raise ValueError(f"max_elapsed must be >= 0, got {max_elapsed}")
         super().__init__(inner.stats, inner.id_width)
         self.inner = inner
         self.max_retries = max_retries
         self.base_delay = base_delay
         self.max_delay = max_delay
+        self.jitter = jitter
+        self.max_elapsed = max_elapsed
+        self.budget = budget
+        self._rng = random.Random(seed)
         self._sleep = sleep
+        self._clock = clock
         #: Transient failures absorbed so far.
         self.retries = 0
 
+    def _time_left(self, started: float) -> Optional[float]:
+        """Seconds of retry headroom remaining, or ``None`` if unbounded."""
+        left: Optional[float] = None
+        if self.max_elapsed is not None:
+            left = self.max_elapsed - (self._clock() - started)
+        if self.budget is not None:
+            remaining = self.budget.remaining_seconds()
+            if remaining is not None:
+                left = remaining if left is None else min(left, remaining)
+        return left
+
     def _attempt(self, fn: Callable, *args: object) -> None:
         delay = self.base_delay
+        started = self._clock()
         for attempt in range(self.max_retries + 1):
             try:
                 fn(*args)
@@ -167,9 +211,25 @@ class RetryingSink(JoinSink):
                     raise SinkIOError(
                         f"sink write failed after {attempt + 1} attempts: {exc}"
                     ) from exc
+                if self.jitter:
+                    pause = min(
+                        self.max_delay,
+                        self._rng.uniform(self.base_delay, max(delay, self.base_delay) * 3),
+                    )
+                    delay = pause
+                else:
+                    pause = min(delay, self.max_delay)
+                    delay *= 2
+                left = self._time_left(started)
+                if left is not None:
+                    if left <= 0:
+                        raise SinkIOError(
+                            f"sink write failed after {attempt + 1} attempts "
+                            f"and the retry time budget is exhausted: {exc}"
+                        ) from exc
+                    pause = min(pause, left)
                 self.retries += 1
-                self._sleep(min(delay, self.max_delay))
-                delay *= 2
+                self._sleep(pause)
 
     # -- delegation: accounting happens once, in the inner sink ------------
     def write_link(self, i: int, j: int) -> None:

@@ -246,7 +246,7 @@ class TestValidation:
         from repro.errors import InvalidInputError
 
         with pytest.raises(InvalidInputError):
-            CheckpointedJoin(pts, 0.06, str(tmp_path / "x"), algorithm="pbsm")
+            CheckpointedJoin(pts, 0.06, str(tmp_path / "x"), algorithm="hash")
 
     def test_rejects_bad_inputs(self, tmp_path):
         from repro.errors import InvalidInputError

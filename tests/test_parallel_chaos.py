@@ -1,0 +1,136 @@
+"""Chaos testing of the worker pool: crashes are recoverable, exactly.
+
+The CI parallel-chaos matrix re-runs this module under several
+``REPRO_CHAOS_SEED`` / ``REPRO_CHAOS_WORKERS`` combinations; locally the
+defaults (seed 0, 2 workers) apply.  Every scenario ends in the same
+assertion: the recovered output is byte-identical to the uninterrupted
+serial run — worker SIGKILLs, whole-pool loss, and resume at a
+*different* worker count included.
+"""
+
+import filecmp
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import similarity_join
+from repro.core.results import TextSink
+from repro.core.verify import brute_force_links
+from repro.errors import BudgetExceededError
+from repro.io.writer import width_for
+from repro.parallel import parallel_join
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import FlakyWorker
+from repro.resilience.checkpoint import CheckpointedJoin
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+CHAOS_WORKERS = int(os.environ.get("REPRO_CHAOS_WORKERS", "2"))
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return np.random.default_rng(17).random((250, 2))
+
+
+def _serial_file(pts, eps, algo, path, g=10):
+    sink = TextSink(str(path), id_width=width_for(len(pts)))
+    result = similarity_join(pts, eps, algorithm=algo, g=g, sink=sink)
+    sink.close()
+    return result
+
+
+class TestWorkerKillRecovery:
+    @pytest.mark.parametrize("algo", ["csj", "pbsm-csj"])
+    def test_seeded_random_kills_recover_byte_identically(self, pts, algo,
+                                                          tmp_path):
+        serial = tmp_path / "serial.txt"
+        _serial_file(pts, 0.06, algo, serial)
+        # Kill decisions are keyed on (seed, task_id), so a re-dispatched
+        # task misbehaves identically; the budget of 2 kills stays below
+        # the quarantine threshold (3 failures), so the run must finish.
+        fault = FlakyWorker(kill_rate=0.5, seed=CHAOS_SEED, max_failures=2)
+        par = tmp_path / "par.txt"
+        sink = TextSink(str(par), id_width=width_for(len(pts)))
+        result = parallel_join(
+            pts, 0.06, algorithm=algo, g=10, workers=CHAOS_WORKERS,
+            sink=sink, fault=fault,
+        )
+        sink.close()
+        assert filecmp.cmp(str(serial), str(par), shallow=False)
+        assert result.expanded_links() == brute_force_links(pts, 0.06)
+
+    def test_checkpointed_parallel_run_survives_worker_kill(self, pts,
+                                                            tmp_path):
+        serial = tmp_path / "serial.txt"
+        _serial_file(pts, 0.06, "csj", serial)
+        ck = tmp_path / "ck.txt"
+        fault = FlakyWorker(kill_at=(1,), max_failures=1)
+        job = CheckpointedJoin(
+            pts, 0.06, str(ck), algorithm="csj", g=10, cadence=7,
+            workers=CHAOS_WORKERS, fault=fault,
+        )
+        job.run()
+        assert filecmp.cmp(str(serial), str(ck), shallow=False)
+
+
+class TestCrashEquivalentPoolRecovery:
+    """Kill the whole pool (via a budget breach, which leaves exactly the
+    state a SIGKILL of the supervisor leaves: a journal prefix), then
+    resume with a different worker count."""
+
+    @pytest.mark.parametrize("algo", ["csj", "pbsm-csj"])
+    def test_resume_at_different_worker_count(self, pts, algo, tmp_path):
+        serial = tmp_path / "serial.txt"
+        _serial_file(pts, 0.06, algo, serial)
+        ck = tmp_path / "ck.txt"
+        job = CheckpointedJoin(
+            pts, 0.06, str(ck), algorithm=algo, g=10, cadence=3, workers=4,
+            budget=Budget(max_output_bytes=400, check_every=1),
+        )
+        with pytest.raises(BudgetExceededError):
+            job.run()
+        resumed = CheckpointedJoin(
+            pts, 0.06, str(ck), algorithm=algo, g=10, cadence=3, workers=2,
+        ).run(resume=True)
+        assert filecmp.cmp(str(serial), str(ck), shallow=False)
+        assert resumed.expanded_links() == brute_force_links(pts, 0.06)
+
+    def test_parallel_breach_resumed_serially(self, pts, tmp_path):
+        serial = tmp_path / "serial.txt"
+        _serial_file(pts, 0.06, "csj", serial)
+        ck = tmp_path / "ck.txt"
+        with pytest.raises(BudgetExceededError):
+            CheckpointedJoin(
+                pts, 0.06, str(ck), algorithm="csj", g=10, cadence=3,
+                workers=4, budget=Budget(max_output_bytes=400, check_every=1),
+            ).run()
+        CheckpointedJoin(
+            pts, 0.06, str(ck), algorithm="csj", g=10, cadence=3,
+        ).run(resume=True)
+        assert filecmp.cmp(str(serial), str(ck), shallow=False)
+
+
+class TestFingerprintStability:
+    def test_fingerprint_excludes_execution_knobs(self, pts, tmp_path):
+        """Worker count, task timeout and fault injection are execution
+        details — a journal written at one pool size must be accepted at
+        any other, so none of them may enter the fingerprint."""
+        base = CheckpointedJoin(pts, 0.06, str(tmp_path / "a.txt"),
+                                algorithm="csj", g=10)
+        tuned = CheckpointedJoin(
+            pts, 0.06, str(tmp_path / "b.txt"), algorithm="csj", g=10,
+            workers=4, task_timeout=2.5,
+            fault=FlakyWorker(kill_at=(0,), max_failures=1),
+        )
+        assert base.fingerprint() == tuned.fingerprint()
+
+    def test_fingerprint_still_guards_the_join_itself(self, pts, tmp_path):
+        a = CheckpointedJoin(pts, 0.06, str(tmp_path / "a.txt"),
+                             algorithm="csj", g=10)
+        b = CheckpointedJoin(pts, 0.07, str(tmp_path / "b.txt"),
+                             algorithm="csj", g=10)
+        c = CheckpointedJoin(pts, 0.06, str(tmp_path / "c.txt"),
+                             algorithm="csj", g=5)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()

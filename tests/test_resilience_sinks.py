@@ -138,11 +138,80 @@ class TestRetryingSink:
         inner = _FailNTimesSink(100, id_width=4)
         sink = RetryingSink(
             inner, max_retries=5, base_delay=0.1, max_delay=0.5,
-            sleep=delays.append,
+            sleep=delays.append, jitter=False,
         )
         with pytest.raises(SinkIOError):
             sink.write_link(1, 2)
         assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jittered_backoff_is_bounded_and_decorrelated(self):
+        delays = []
+        inner = _FailNTimesSink(100, id_width=4)
+        sink = RetryingSink(
+            inner, max_retries=8, base_delay=0.1, max_delay=0.5,
+            sleep=delays.append, seed=7,
+        )
+        with pytest.raises(SinkIOError):
+            sink.write_link(1, 2)
+        assert len(delays) == 8
+        assert all(0.1 <= d <= 0.5 for d in delays)
+        # Decorrelated: a real spread of values, not a fixed ladder.
+        assert len({round(d, 6) for d in delays}) > 3
+        # Deterministic for a given seed.
+        delays2 = []
+        sink2 = RetryingSink(
+            _FailNTimesSink(100, id_width=4), max_retries=8, base_delay=0.1,
+            max_delay=0.5, sleep=delays2.append, seed=7,
+        )
+        with pytest.raises(SinkIOError):
+            sink2.write_link(1, 2)
+        assert delays2 == delays
+
+    def test_max_elapsed_caps_total_retry_time(self):
+        clock = [0.0]
+
+        def fake_sleep(s):
+            clock[0] += s
+
+        inner = _FailNTimesSink(100, id_width=4)
+        sink = RetryingSink(
+            inner, max_retries=1000, base_delay=0.1, max_delay=0.5,
+            sleep=fake_sleep, clock=lambda: clock[0], max_elapsed=2.0,
+            jitter=False,
+        )
+        with pytest.raises(SinkIOError, match="retry time budget"):
+            sink.write_link(1, 2)
+        # Sleeps are trimmed to the cap: never sleeps past max_elapsed.
+        assert clock[0] <= 2.0 + 1e-9
+
+    def test_budget_deadline_trims_retries(self):
+        from repro.resilience.budget import Budget
+
+        clock = [0.0]
+
+        def fake_sleep(s):
+            clock[0] += s
+
+        budget = Budget(deadline_seconds=0.25)
+        budget.start()
+        budget._started_at = 0.0  # pin the clock origin for the test
+        import repro.resilience.budget as budget_mod
+
+        real_monotonic = budget_mod.time.monotonic
+        budget_mod.time.monotonic = lambda: clock[0]
+        try:
+            inner = _FailNTimesSink(100, id_width=4)
+            sink = RetryingSink(
+                inner, max_retries=1000, base_delay=0.1, max_delay=10.0,
+                sleep=fake_sleep, clock=lambda: clock[0], budget=budget,
+                jitter=False,
+            )
+            with pytest.raises(SinkIOError, match="retry time budget"):
+                sink.write_link(1, 2)
+            # Retries never slept past the budget's deadline.
+            assert clock[0] <= 0.25 + 1e-9
+        finally:
+            budget_mod.time.monotonic = real_monotonic
 
     def test_inner_sink_io_error_is_final(self):
         class Fatal(CollectSink):
