@@ -1,0 +1,110 @@
+"""Observability overhead: the acceptance gate for the obs layer.
+
+The instrumentation must be free when nobody asked for it.  On the
+Figure-7 workload (Sierpinski3D, eps = 0.125) this bench measures
+
+* the join's wall-clock with all observability disabled (the default),
+* the per-call cost of a disabled ``span()`` (one global read returning
+  a shared no-op object),
+* the number of span call sites actually crossed by an enabled run,
+
+and asserts that ``spans_crossed * disabled_span_cost`` — the entire
+disabled-mode tax — is under 5% of the disabled wall-clock.  A second
+test reports the *enabled* overhead (tracing to a real file) for the
+record; that one is informational, not a gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.csj import csj
+from repro.core.results import CountingSink
+from repro.datasets import sierpinski_pyramid
+from repro.experiments.runner import scaled
+from repro.index.bulk import bulk_load
+from repro.io.writer import width_for
+from repro.obs.tracing import configure_tracing, disable_tracing, span
+
+EPS = 0.125
+N = scaled(8_000)
+
+
+def _tree_and_sink():
+    points = sierpinski_pyramid(N, seed=0)
+    return bulk_load(points, max_entries=64), CountingSink(id_width=width_for(N))
+
+
+def _disabled_wall_clock():
+    tree, sink = _tree_and_sink()
+    start = time.perf_counter()
+    csj(tree, EPS, 10, sink=sink)
+    return time.perf_counter() - start
+
+
+def _noop_span_cost(calls=200_000):
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("descend"):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def _spans_crossed(tmp_path):
+    trace = tmp_path / "overhead.trace.jsonl"
+    configure_tracing(str(trace))
+    try:
+        tree, sink = _tree_and_sink()
+        start = time.perf_counter()
+        csj(tree, EPS, 10, sink=sink)
+        enabled_wall = time.perf_counter() - start
+    finally:
+        disable_tracing()
+    count = sum(1 for line in trace.read_text().splitlines() if line.strip())
+    return count, enabled_wall
+
+
+def test_disabled_overhead_under_5_percent(benchmark, run_once, tmp_path):
+    """spans_crossed x noop_cost must stay below 5% of the join's
+    uninstrumented wall-clock on the fig7 workload."""
+
+    def measure():
+        wall = _disabled_wall_clock()
+        noop_cost = _noop_span_cost()
+        spans_crossed, enabled_wall = _spans_crossed(tmp_path)
+        return wall, noop_cost, spans_crossed, enabled_wall
+
+    wall, noop_cost, spans_crossed, enabled_wall = run_once(measure)
+    disabled_tax = spans_crossed * noop_cost
+    benchmark.extra_info.update(
+        n=N,
+        wall_disabled_s=wall,
+        wall_enabled_s=enabled_wall,
+        noop_span_cost_s=noop_cost,
+        spans_crossed=spans_crossed,
+        disabled_tax_s=disabled_tax,
+        disabled_tax_pct=100.0 * disabled_tax / wall,
+    )
+    assert spans_crossed > 0
+    assert disabled_tax < 0.05 * wall, (
+        f"disabled instrumentation tax {disabled_tax:.4f}s is >= 5% of "
+        f"wall {wall:.4f}s ({spans_crossed} spans x {noop_cost * 1e9:.0f}ns)"
+    )
+
+
+def test_enabled_overhead_reported(benchmark, run_once, tmp_path):
+    """Informational: wall-clock ratio with tracing writing to disk."""
+
+    def measure():
+        disabled = _disabled_wall_clock()
+        _, enabled = _spans_crossed(tmp_path)
+        return disabled, enabled
+
+    disabled, enabled = run_once(measure)
+    ratio = enabled / disabled if disabled else float("inf")
+    benchmark.extra_info.update(
+        wall_disabled_s=disabled, wall_enabled_s=enabled, ratio=ratio
+    )
+    # Not a gate — enabled tracing pays for file writes — but a runaway
+    # regression (an order of magnitude) should still fail the bench.
+    assert ratio < 10.0

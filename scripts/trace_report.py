@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Flame-style summary of a trace file produced with ``repro join --trace``.
+
+Each trace line is a completed span ``{"name", "path", "ts", "dur",
+"depth", ...}`` where ``path`` is the ``;``-joined ancestor chain (e.g.
+``descend;emit``).  This tool aggregates spans by path and prints an
+indented tree with call counts, total time, and *self* time (total minus
+the time spent in child spans), so hot phases stand out at a glance:
+
+    $ python scripts/trace_report.py run.trace.jsonl
+    path                               count     total      self   %total
+    descend                                1   41.2ms     2.1ms    95.3%
+      emit                                12   39.1ms    39.1ms    90.4%
+
+Zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, TextIO
+
+
+@dataclass
+class PathStats:
+    """Aggregated spans sharing one ancestor path."""
+
+    path: str
+    count: int = 0
+    total: float = 0.0
+    child_time: float = 0.0
+    events: int = 0
+    attrs: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.total - self.child_time)
+
+    @property
+    def depth(self) -> int:
+        return self.path.count(";")
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit(";", 1)[-1]
+
+
+def load_spans(stream: Iterable[str]) -> List[dict]:
+    """Parse a trace JSONL stream, raising on any malformed line."""
+    spans = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"trace line {lineno} is not JSON: {exc}")
+        for key in ("name", "path", "ts", "dur", "depth"):
+            if key not in record:
+                raise SystemExit(
+                    f"trace line {lineno} missing key {key!r}"
+                )
+        spans.append(record)
+    return spans
+
+
+def aggregate(spans: List[dict]) -> Dict[str, PathStats]:
+    """Fold spans into per-path statistics with self-time attribution."""
+    table: Dict[str, PathStats] = {}
+    for record in spans:
+        path = record["path"]
+        stats = table.setdefault(path, PathStats(path))
+        if record.get("event"):
+            stats.events += 1
+            continue
+        stats.count += 1
+        stats.total += record["dur"]
+        # Numeric attributes (merged counts, point counts...) are summed
+        # so e.g. total merged tasks per phase show up in the report.
+        for key, value in record.items():
+            if key in ("name", "path", "ts", "dur", "depth", "event"):
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                stats.attrs[key] = stats.attrs.get(key, 0) + value
+    # Charge every path's total to its parent as child time.
+    for path, stats in table.items():
+        if ";" not in path:
+            continue
+        parent = table.get(path.rsplit(";", 1)[0])
+        if parent is not None:
+            parent.child_time += stats.total
+    return table
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render(table: Dict[str, PathStats], out: TextIO, top: int = 0) -> None:
+    wall = sum(s.total for s in table.values() if s.depth == 0)
+    rows = sorted(table.values(), key=lambda s: s.path)
+    if top:
+        keep = {
+            s.path
+            for s in sorted(table.values(), key=lambda s: -s.total)[:top]
+        }
+        # Keep ancestors so the tree stays printable.
+        for path in list(keep):
+            parts = path.split(";")
+            for i in range(1, len(parts)):
+                keep.add(";".join(parts[:i]))
+        rows = [s for s in rows if s.path in keep]
+
+    header = f"{'path':<40} {'count':>7} {'total':>9} {'self':>9} {'%total':>7}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for stats in rows:
+        label = "  " * stats.depth + stats.name
+        share = (stats.total / wall * 100.0) if wall else 0.0
+        extras = ""
+        if stats.events:
+            extras += f"  events={stats.events}"
+        for key, value in sorted(stats.attrs.items()):
+            if key in ("eps", "g"):
+                continue
+            extras += f"  {key}={value:g}"
+        print(
+            f"{label:<40} {stats.count:>7} {_fmt_time(stats.total):>9} "
+            f"{_fmt_time(stats.self_time):>9} {share:>6.1f}%{extras}",
+            file=out,
+        )
+    if wall:
+        print(f"\nwall (sum of root spans): {_fmt_time(wall)}", file=out)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarise a repro trace file as a flame-style tree."
+    )
+    parser.add_argument("trace", help="trace JSONL file (or - for stdin)")
+    parser.add_argument(
+        "--top", type=int, default=0,
+        help="show only the N most expensive paths (plus ancestors)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace == "-":
+        spans = load_spans(sys.stdin)
+    else:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            spans = load_spans(fh)
+    if not spans:
+        raise SystemExit("trace file contains no spans")
+    render(aggregate(spans), sys.stdout, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

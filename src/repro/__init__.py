@@ -61,6 +61,16 @@ from repro.errors import (
     SinkIOError,
     WorkerPoolError,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ProgressHeartbeat,
+    Tracer,
+    configure_logging,
+    configure_tracing,
+    get_logger,
+    get_registry,
+    run_context,
+)
 from repro.parallel import SupervisorConfig, parallel_join
 from repro.geometry import MBR, Ball, Metric, get_metric
 from repro.index import (
@@ -150,4 +160,13 @@ __all__ = [
     "FlakySink",
     "FlakyIndex",
     "FlakyWorker",
+    # observability
+    "configure_logging",
+    "get_logger",
+    "run_context",
+    "MetricsRegistry",
+    "get_registry",
+    "Tracer",
+    "configure_tracing",
+    "ProgressHeartbeat",
 ]

@@ -29,11 +29,14 @@ from repro.core.results import JoinResult, JoinSink
 from repro.core.ssj import ssj as _ssj
 from repro.errors import InvalidInputError, validate_eps, validate_points
 from repro.index import SpatialIndex, bulk_load, get_index_class
+from repro.obs.logging import get_logger
 
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
 __all__ = ["build_index", "similarity_join", "spatial_join_datasets"]
+
+logger = get_logger("api")
 
 ALGORITHMS = ("ssj", "ncsj", "csj", "egrid", "egrid-csj", "pbsm", "pbsm-csj")
 
@@ -115,6 +118,16 @@ def similarity_join(
         raise InvalidInputError(f"window size g must be >= 0, got {g}")
     if workers is not None and workers < 0:
         raise InvalidInputError(f"workers must be >= 0, got {workers}")
+    logger.debug(
+        "similarity join starting",
+        extra={
+            "algorithm": algorithm,
+            "points": int(points.shape[0]),
+            "eps": eps,
+            "g": g,
+            "workers": workers,
+        },
+    )
     if workers is not None and workers > 1:
         from repro.parallel import parallel_join  # deferred: heavy machinery
 

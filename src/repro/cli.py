@@ -101,6 +101,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task wall-clock limit in the worker pool; a task that "
         "exceeds it is killed and retried on a fresh worker",
     )
+    join.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON-lines logs on stderr (one object per "
+        "line: timestamp, level, event, run context)",
+    )
+    join.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        metavar="LEVEL",
+        help="enable plain (or, with --log-json, structured) logging at "
+        "LEVEL: debug, info, warning or error",
+    )
+    join.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record phase-level trace spans as JSON lines to PATH "
+        "(default: OUTPUT.trace.jsonl next to --output, else "
+        "csj.trace.jsonl); summarise with scripts/trace_report.py",
+    )
+    join.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="export the run's metrics snapshot to PATH on completion "
+        "(Prometheus text if PATH ends in .prom/.txt, JSON otherwise)",
+    )
+    join.add_argument(
+        "--progress",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a progress heartbeat (links/groups/bytes so far) every "
+        "SECONDS while the join runs",
+    )
 
     experiment = sub.add_parser("experiment", help="reproduce a paper artifact")
     experiment.add_argument(
@@ -142,17 +180,61 @@ def _load_points(args: argparse.Namespace) -> np.ndarray:
     return load_dataset(args.dataset, args.n, seed=args.seed)
 
 
+def _write_metrics(path: str, registry) -> None:
+    """Export the registry: Prometheus text by extension, else JSON."""
+    if path.endswith((".prom", ".txt")):
+        text = registry.to_prometheus()
+    else:
+        text = registry.to_json(indent=2) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
+    import uuid
+
     from repro.api import similarity_join
-    from repro.core.results import TextSink
+    from repro.core.results import CollectSink, TextSink
     from repro.core.verify import check_equivalence
+    from repro.errors import ReproError
     from repro.io.writer import width_for
+    from repro.obs.logging import (
+        configure_logging,
+        get_logger,
+        log_mode,
+        reset_logging,
+        run_context,
+    )
+    from repro.obs.metrics import get_registry, reset_registry
+    from repro.obs.progress import ProgressHeartbeat
+    from repro.obs.tracing import configure_tracing, disable_tracing
     from repro.resilience.budget import Budget
+    from repro.stats.counters import JoinStats
 
     if args.resume and not args.checkpoint:
         raise SystemExit("csj join: --resume requires --checkpoint")
     if args.checkpoint and not args.output:
         raise SystemExit("csj join: --checkpoint requires --output")
+
+    # Observability wiring.  Logging goes to stderr so stdout stays clean
+    # for piped consumers; --progress implies a visible logger.
+    configured_logging = False
+    if args.log_json or args.log_level is not None:
+        configure_logging(level=args.log_level or "info", json_lines=args.log_json)
+        configured_logging = True
+    elif args.progress is not None:
+        configure_logging(level="info", json_lines=False)
+        configured_logging = True
+    logger = get_logger("cli")
+
+    trace_path = None
+    if args.trace is not None:
+        trace_path = args.trace or (
+            f"{args.output}.trace.jsonl" if args.output else "csj.trace.jsonl"
+        )
+        configure_tracing(trace_path)
+    if args.metrics_out:
+        reset_registry()  # this run's counters only, not leftover state
 
     budget = None
     if args.deadline is not None or args.max_bytes is not None:
@@ -161,65 +243,163 @@ def _cmd_join(args: argparse.Namespace) -> int:
         )
 
     points = _load_points(args)
-    if args.checkpoint:
-        from repro.resilience.checkpoint import CheckpointedJoin
+    run_id = uuid.uuid4().hex[:12]
+    heartbeat = None
+    try:
+        with run_context(run=run_id, algorithm=args.algorithm, eps=args.eps):
+            logger.info(
+                "join starting",
+                extra={
+                    "points": len(points),
+                    "dim": int(points.shape[1]),
+                    "workers": args.workers,
+                    "index": args.index,
+                    "g": args.g,
+                },
+            )
+            if args.checkpoint:
+                from repro.resilience.checkpoint import CheckpointedJoin
 
-        job = CheckpointedJoin(
-            points,
-            args.eps,
-            args.output,
-            algorithm=args.algorithm,
-            g=args.g,
-            index=args.index,
-            metric=args.metric,
-            journal_path=args.checkpoint,
-            budget=budget,
-            workers=args.workers,
-            task_timeout=args.task_timeout,
-        )
-        result = job.run(resume=args.resume)
-    else:
-        sink = None
-        if args.output:
-            sink = TextSink(args.output, id_width=width_for(len(points)))
-        result = similarity_join(
-            points,
-            args.eps,
-            algorithm=args.algorithm,
-            g=args.g,
-            index=args.index,
-            metric=args.metric,
-            sink=sink,
-            budget=budget,
-            workers=args.workers,
-            task_timeout=args.task_timeout,
-        )
-        if sink is not None:
-            sink.close()
-    stats = result.stats
-    print(f"algorithm      : {result.algorithm}")
-    print(f"points         : {len(points)} x {points.shape[1]}")
-    print(f"query range    : {args.eps:g}")
-    print(f"links emitted  : {stats.links_emitted}")
-    print(f"groups emitted : {stats.groups_emitted}")
-    print(f"output bytes   : {stats.bytes_written}")
-    print(f"early stops    : {stats.early_stops}")
-    print(f"distance comps : {stats.distance_computations}")
-    print(f"total time     : {stats.total_time:.3f}s "
-          f"(compute {stats.compute_time:.3f}s + write {stats.write_time:.3f}s)")
-    if getattr(result, "estimated", False):
-        print("NOTE: output exceeded the byte budget; figures above are "
-              "the paper's analytic estimate, no exact output was written")
-    if args.output:
-        print(f"output file    : {args.output}")
-    if args.checkpoint:
-        print(f"checkpoint     : {args.checkpoint}")
-    if args.verify:
-        report = check_equivalence(points, args.eps, result, metric=args.metric)
-        print(f"verification   : {report!r}")
-        if not report.ok:
-            return 1
-    return 0
+                live_stats = JoinStats()
+                job = CheckpointedJoin(
+                    points,
+                    args.eps,
+                    args.output,
+                    algorithm=args.algorithm,
+                    g=args.g,
+                    index=args.index,
+                    metric=args.metric,
+                    journal_path=args.checkpoint,
+                    budget=budget,
+                    workers=args.workers,
+                    task_timeout=args.task_timeout,
+                    stats=live_stats,
+                )
+                if args.progress is not None:
+                    heartbeat = ProgressHeartbeat(
+                        live_stats, interval=args.progress
+                    ).start()
+                result = job.run(resume=args.resume)
+            else:
+                if args.output:
+                    sink = TextSink(args.output, id_width=width_for(len(points)))
+                else:
+                    sink = CollectSink(id_width=width_for(len(points)))
+                if args.progress is not None:
+                    heartbeat = ProgressHeartbeat(
+                        sink.stats, interval=args.progress
+                    ).start()
+                result = similarity_join(
+                    points,
+                    args.eps,
+                    algorithm=args.algorithm,
+                    g=args.g,
+                    index=args.index,
+                    metric=args.metric,
+                    sink=sink,
+                    budget=budget,
+                    workers=args.workers,
+                    task_timeout=args.task_timeout,
+                )
+                if args.output:
+                    sink.close()
+            if heartbeat is not None:
+                heartbeat.stop()
+                heartbeat = None
+
+            stats = result.stats
+            if args.metrics_out:
+                registry = get_registry()
+                registry.record_join_stats(stats)
+                if budget is not None:
+                    registry.record_budget(budget)
+                _write_metrics(args.metrics_out, registry)
+
+            summary = {
+                "algorithm": result.algorithm,
+                "points": len(points),
+                "dim": int(points.shape[1]),
+                "links_emitted": stats.links_emitted,
+                "groups_emitted": stats.groups_emitted,
+                "bytes_written": stats.bytes_written,
+                "early_stops": stats.early_stops,
+                "distance_computations": stats.distance_computations,
+                "total_time_seconds": round(stats.total_time, 6),
+                "compute_seconds": round(stats.compute_time, 6),
+                "write_seconds": round(stats.write_time, 6),
+                "estimated": bool(getattr(result, "estimated", False)),
+            }
+            if args.output:
+                summary["output_file"] = args.output
+            if args.checkpoint:
+                summary["checkpoint"] = args.checkpoint
+            if trace_path:
+                summary["trace_file"] = trace_path
+            if args.metrics_out:
+                summary["metrics_file"] = args.metrics_out
+            if log_mode() == "json":
+                # JSON-lines mode: the summary is one structured event so
+                # every stderr line stays machine-parseable.
+                logger.info("run summary", extra=summary)
+            else:
+                err = sys.stderr
+                print(f"algorithm      : {result.algorithm}", file=err)
+                print(f"points         : {len(points)} x {points.shape[1]}", file=err)
+                print(f"query range    : {args.eps:g}", file=err)
+                print(f"links emitted  : {stats.links_emitted}", file=err)
+                print(f"groups emitted : {stats.groups_emitted}", file=err)
+                print(f"output bytes   : {stats.bytes_written}", file=err)
+                print(f"early stops    : {stats.early_stops}", file=err)
+                print(f"distance comps : {stats.distance_computations}", file=err)
+                print(
+                    f"total time     : {stats.total_time:.3f}s "
+                    f"(compute {stats.compute_time:.3f}s "
+                    f"+ write {stats.write_time:.3f}s)",
+                    file=err,
+                )
+                if summary["estimated"]:
+                    print(
+                        "NOTE: output exceeded the byte budget; figures above "
+                        "are the paper's analytic estimate, no exact output "
+                        "was written",
+                        file=err,
+                    )
+                if args.output:
+                    print(f"output file    : {args.output}", file=err)
+                if args.checkpoint:
+                    print(f"checkpoint     : {args.checkpoint}", file=err)
+                if trace_path:
+                    print(f"trace file     : {trace_path}", file=err)
+                if args.metrics_out:
+                    print(f"metrics file   : {args.metrics_out}", file=err)
+            if args.verify:
+                report = check_equivalence(
+                    points, args.eps, result, metric=args.metric
+                )
+                if log_mode() == "json":
+                    logger.info(
+                        "verification", extra={"ok": report.ok, "report": repr(report)}
+                    )
+                else:
+                    print(f"verification   : {report!r}", file=sys.stderr)
+                if not report.ok:
+                    return 1
+            return 0
+    except ReproError as exc:
+        # In JSON mode the error must be a parseable record too; mark the
+        # exception so main() does not add a second, plain-text line.
+        if log_mode() == "json":
+            logger.error(
+                f"csj: error: {exc}", extra={"exit_code": exc.exit_code}
+            )
+            exc.cli_logged = True
+        raise
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        disable_tracing()
+        if configured_logging:
+            reset_logging()  # never leak our handler into in-process callers
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -327,7 +507,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cluster(args)
         return _cmd_demo(args)
     except ReproError as exc:
-        print(f"csj: error: {exc}", file=sys.stderr)
+        if not getattr(exc, "cli_logged", False):
+            print(f"csj: error: {exc}", file=sys.stderr)
         return exc.exit_code
     except OSError as exc:
         print(f"csj: error: {exc}", file=sys.stderr)

@@ -36,6 +36,8 @@ from repro.index.base import IndexNode, SpatialIndex
 from repro.index.rtree import RectNode
 from repro.io.pagesim import NodePager
 from repro.io.writer import width_for
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span as trace_span
 from repro.stats.counters import JoinStats
 
 if TYPE_CHECKING:
@@ -51,6 +53,8 @@ __all__ = [
     "leaf_self_delta",
     "leaf_cross_delta",
 ]
+
+logger = get_logger("core.csj")
 
 
 # ---------------------------------------------------------------------------
@@ -205,14 +209,19 @@ def csj(
         budget.start()
     start = time.perf_counter()
     try:
-        if tree.root is not None and tree.size > 1:
-            runner.join_node(tree.root)
-        runner.buffer.flush()
+        with trace_span("descend", algorithm=label, eps=eps, g=g):
+            if tree.root is not None and tree.size > 1:
+                runner.join_node(tree.root)
+        with trace_span("emit", algorithm=label):
+            runner.buffer.flush()
     except BudgetExceededError as exc:
         runner.buffer.flush()
         elapsed = time.perf_counter() - start
         stats = sink.stats
         stats.compute_time += elapsed - stats.write_time
+        logger.warning(
+            "csj budget breach", extra={"kind": exc.kind, "limit": exc.limit}
+        )
         exc.partial = JoinResult.from_sink(
             sink, eps=eps, algorithm=label, g=g, index_name=type(tree).name
         )
@@ -223,6 +232,16 @@ def csj(
     if pager is not None:
         stats.page_reads += pager.cache.misses
         stats.cache_hits += pager.cache.hits
+    logger.debug(
+        "csj finished",
+        extra={
+            "algorithm": label,
+            "links_emitted": stats.links_emitted,
+            "groups_emitted": stats.groups_emitted,
+            "early_stops": stats.early_stops,
+            "merge_successes": stats.merge_successes,
+        },
+    )
     return JoinResult.from_sink(
         sink, eps=eps, algorithm=label, g=g, index_name=type(tree).name
     )

@@ -34,6 +34,7 @@ from repro.core.results import CollectSink, JoinResult, JoinSink
 from repro.errors import BudgetExceededError
 from repro.geometry.metrics import Metric, get_metric
 from repro.io.writer import width_for
+from repro.obs.tracing import span as trace_span
 
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
@@ -118,20 +119,23 @@ def egrid_join(
     if budget is not None:
         budget.start()
     start_time = time.perf_counter()
-    cells = grid_cells(pts, eps)
+    with trace_span("grid", algorithm="egrid", points=len(pts)):
+        cells = grid_cells(pts, eps)
     offsets = _positive_neighbour_offsets(pts.shape[1])
 
     try:
-        for key, ids in cells.items():
-            if budget is not None:
-                budget.check(stats)
-            _join_cell_self(pts, ids, eps, m, compact, buffer, sink, stats)
-            for offset in offsets:
-                neighbour = tuple(k + o for k, o in zip(key, offset))
-                other = cells.get(neighbour)
-                if other is not None:
-                    _join_cell_pair(pts, ids, other, eps, m, compact, buffer, sink, stats)
-        buffer.flush()
+        with trace_span("descend", algorithm="egrid", cells=len(cells)):
+            for key, ids in cells.items():
+                if budget is not None:
+                    budget.check(stats)
+                _join_cell_self(pts, ids, eps, m, compact, buffer, sink, stats)
+                for offset in offsets:
+                    neighbour = tuple(k + o for k, o in zip(key, offset))
+                    other = cells.get(neighbour)
+                    if other is not None:
+                        _join_cell_pair(pts, ids, other, eps, m, compact, buffer, sink, stats)
+        with trace_span("emit", algorithm="egrid"):
+            buffer.flush()
     except BudgetExceededError as exc:
         buffer.flush()
         stats.compute_time += time.perf_counter() - start_time - stats.write_time

@@ -33,6 +33,7 @@ from repro.core.results import CollectSink, JoinResult, JoinSink
 from repro.errors import BudgetExceededError
 from repro.geometry.metrics import Metric, get_metric
 from repro.io.writer import width_for
+from repro.obs.tracing import span as trace_span
 
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
@@ -166,15 +167,19 @@ def pbsm_join(
         budget.start()
     start_time = time.perf_counter()
     if n > 1:
-        cells, home_of, partitions_per_axis = pbsm_plan(pts, eps, partitions_per_axis)
+        with trace_span("plan", algorithm="pbsm", points=n):
+            cells, home_of, partitions_per_axis = pbsm_plan(
+                pts, eps, partitions_per_axis
+            )
         try:
-            for key, ids in cells.items():
-                if budget is not None:
-                    budget.check(stats)
-                _join_partition(
-                    pts, ids, np.asarray(key), home_of, eps, m,
-                    compact, buffer, sink, stats,
-                )
+            with trace_span("descend", algorithm="pbsm", partitions=len(cells)):
+                for key, ids in cells.items():
+                    if budget is not None:
+                        budget.check(stats)
+                    _join_partition(
+                        pts, ids, np.asarray(key), home_of, eps, m,
+                        compact, buffer, sink, stats,
+                    )
         except BudgetExceededError as exc:
             buffer.flush()
             stats.compute_time += time.perf_counter() - start_time - stats.write_time
@@ -184,7 +189,8 @@ def pbsm_join(
                 index_name="pbsm",
             )
             raise
-    buffer.flush()
+    with trace_span("emit", algorithm="pbsm"):
+        buffer.flush()
     stats.compute_time += time.perf_counter() - start_time - stats.write_time
     label = (f"pbsm-csj({g})" if g else "pbsm-ncsj") if compact else "pbsm"
     return JoinResult.from_sink(

@@ -24,12 +24,16 @@ from repro.errors import BudgetExceededError
 from repro.index.base import IndexNode, SpatialIndex
 from repro.io.pagesim import NodePager
 from repro.io.writer import width_for
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span as trace_span
 from repro.stats.counters import JoinStats
 
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
 __all__ = ["ssj", "leaf_self_pairs", "leaf_cross_pairs"]
+
+logger = get_logger("core.ssj")
 
 
 def leaf_self_pairs(
@@ -93,12 +97,16 @@ def ssj(
         budget.start()
     start = time.perf_counter()
     try:
-        if tree.root is not None and tree.size > 1:
-            runner.join_node(tree.root)
+        with trace_span("descend", algorithm="ssj", eps=eps):
+            if tree.root is not None and tree.size > 1:
+                runner.join_node(tree.root)
     except BudgetExceededError as exc:
         elapsed = time.perf_counter() - start
         stats = sink.stats
         stats.compute_time += elapsed - stats.write_time
+        logger.warning(
+            "ssj budget breach", extra={"kind": exc.kind, "limit": exc.limit}
+        )
         if exc.kind == "output_bytes":
             return _estimated_fallback(tree, eps, sink, stats)
         exc.partial = JoinResult.from_sink(
@@ -111,6 +119,14 @@ def ssj(
     if pager is not None:
         stats.page_reads += pager.cache.misses
         stats.cache_hits += pager.cache.hits
+    logger.debug(
+        "ssj finished",
+        extra={
+            "links_emitted": stats.links_emitted,
+            "bytes_written": stats.bytes_written,
+            "distance_computations": stats.distance_computations,
+        },
+    )
     return JoinResult.from_sink(
         sink, eps=eps, algorithm="ssj", index_name=type(tree).name
     )

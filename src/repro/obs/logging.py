@@ -1,0 +1,209 @@
+"""Structured logging for the join library.
+
+The library logs into the ``repro`` logger hierarchy
+(``repro.core``, ``repro.parallel``, ``repro.resilience``, ...), which
+carries a :class:`logging.NullHandler` by default — importing the
+library never prints anything and never touches the root logger, per
+the standard library-logging contract.  Applications (and the CLI's
+``--log-json`` / ``--log-level`` flags) opt in with
+:func:`configure_logging`, which installs a single stream handler in
+either of two formats:
+
+* **plain** — one human-readable line per event, for terminals;
+* **json** — one JSON object per line (:class:`JsonFormatter`), for
+  pipelines: every record carries the timestamp, level, logger, the
+  event message, any structured fields passed via ``extra=``, and the
+  *run context*.
+
+The run context is a contextvar-scoped dictionary of identifying fields
+(run id, algorithm, query range, worker id) bound once per run with
+:func:`run_context` (scoped) or :func:`bind_context` (process-wide, for
+worker processes) and stamped onto every record emitted underneath it —
+so a multi-run or multi-worker log stream remains attributable without
+threading identifiers through every call site.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import logging
+import sys
+from typing import IO, Iterator, Optional, Union
+
+__all__ = [
+    "JsonFormatter",
+    "bind_context",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+    "log_mode",
+    "reset_logging",
+    "run_context",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Fields of every LogRecord that are bookkeeping, not user payload.
+_RECORD_RESERVED = frozenset(
+    {
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    }
+)
+
+_context: contextvars.ContextVar[dict] = contextvars.ContextVar(
+    "repro_run_context", default={}
+)
+
+#: The active output mode: ``None`` (unconfigured), "plain" or "json".
+_mode: Optional[str] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``get_logger("core.ssj")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def current_context() -> dict:
+    """The run-context fields bound to the current execution context."""
+    return dict(_context.get())
+
+
+@contextlib.contextmanager
+def run_context(**fields: object) -> Iterator[dict]:
+    """Bind identifying fields to every log record emitted in this scope.
+
+    Nested contexts merge (inner fields win); the previous context is
+    restored on exit.
+
+    >>> with run_context(run_id="a1b2", algorithm="csj"):
+    ...     current_context()["algorithm"]
+    'csj'
+    """
+    merged = {**_context.get(), **fields}
+    token = _context.set(merged)
+    try:
+        yield merged
+    finally:
+        _context.reset(token)
+
+
+def bind_context(**fields: object) -> None:
+    """Merge fields into the current context permanently.
+
+    For worker processes, which set their identity once at startup and
+    never unwind it.
+    """
+    _context.set({**_context.get(), **fields})
+
+
+class _ContextFilter(logging.Filter):
+    """Stamps the run context onto every record (as ``record.context``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.context = _context.get()
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, event, context.
+
+    Structured fields passed through ``extra=`` land as top-level keys;
+    run-context fields are merged in (explicit ``extra`` keys win).
+    Values that are not JSON-native are stringified, never dropped.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, "context", None) or _context.get())
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_RESERVED and key != "context" and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class _PlainFormatter(logging.Formatter):
+    """Human-readable single line with the context appended in brackets."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname.lower():7s} {record.name}: {record.getMessage()}"
+        extras = {
+            key: value
+            for key, value in record.__dict__.items()
+            if key not in _RECORD_RESERVED
+            and key != "context"
+            and not key.startswith("_")
+        }
+        context = getattr(record, "context", None) or {}
+        fields = {**context, **extras}
+        if fields:
+            joined = " ".join(f"{k}={v}" for k, v in fields.items())
+            base = f"{base} [{joined}]"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+# Library-safe default: importing repro must never print.
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def configure_logging(
+    level: Union[int, str] = "info",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Handler:
+    """Install the library's log handler (idempotent; replaces its own).
+
+    ``level`` is a name ("debug", "info", ...) or a :mod:`logging`
+    constant; ``json_lines`` selects :class:`JsonFormatter`; ``stream``
+    defaults to ``sys.stderr`` — diagnostics never pollute stdout.
+    Returns the installed handler.
+    """
+    global _mode
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    reset_logging()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_lines else _PlainFormatter())
+    handler.addFilter(_ContextFilter())
+    handler._repro_obs_handler = True  # tag for reset_logging
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.addHandler(handler)
+    root.setLevel(level)
+    _mode = "json" if json_lines else "plain"
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove any handler installed by :func:`configure_logging`."""
+    global _mode
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+            handler.close()
+    _mode = None
+
+
+def log_mode() -> Optional[str]:
+    """The configured output mode: ``None``, ``"plain"`` or ``"json"``."""
+    return _mode

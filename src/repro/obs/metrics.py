@@ -1,0 +1,272 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the numeric side of the observability layer.  Library
+code records into the process-global registry (:func:`get_registry`)
+through three primitives with Prometheus semantics:
+
+* :class:`Counter` — monotonically increasing total (``_total`` names);
+* :class:`Gauge` — a value that goes up and down (queue depth,
+  heartbeat age);
+* :class:`Histogram` — cumulative bucket counts plus sum/count, for
+  durations.
+
+Snapshots export two ways: :meth:`MetricsRegistry.to_json` (one object,
+machine-consumable) and :meth:`MetricsRegistry.to_prometheus` (the text
+exposition format, scrape-ready).  :meth:`MetricsRegistry.record_join_stats`
+folds a finished run's :class:`~repro.stats.counters.JoinStats` — including
+the derived ``total_time`` / ``pairs_reported`` values — into
+``repro_join_*`` metrics, and :meth:`MetricsRegistry.record_budget`
+captures budget state, so one snapshot carries the paper's whole
+measurement protocol (runtime split, output bytes, page accesses) next
+to the execution-health counters (pool spawns/kills, sink retries,
+checkpoint records).
+
+Everything is plain Python with a single lock around metric creation;
+``inc``/``set``/``observe`` are lock-free (single bytecode-level updates
+under the GIL, and worker processes keep their own registries).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import fields as dataclass_fields
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.resilience.budget import Budget
+    from repro.stats.counters import JoinStats
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+]
+
+#: Default histogram buckets (seconds): micro-joins to minutes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value; may move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration and two exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Domain recorders
+    # ------------------------------------------------------------------
+    def record_join_stats(self, stats: "JoinStats", prefix: str = "repro_join_") -> None:
+        """Fold a run's counters — including derived values — into metrics.
+
+        Integer counters become :class:`Counter` s, the time fields
+        become counters of seconds (``*_seconds_total``); the derived
+        ``total_time`` and ``pairs_reported`` properties are recorded
+        explicitly so exported snapshots carry the paper's headline
+        runtime number.
+        """
+        for f in dataclass_fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, float):
+                self.counter(
+                    f"{prefix}{f.name}_seconds_total", f"JoinStats.{f.name} (seconds)"
+                ).inc(value)
+            else:
+                self.counter(f"{prefix}{f.name}_total", f"JoinStats.{f.name}").inc(value)
+        self.counter(
+            f"{prefix}total_time_seconds_total", "compute plus write seconds"
+        ).inc(stats.total_time)
+        self.counter(
+            f"{prefix}pairs_reported_total", "links implied by the output"
+        ).inc(stats.pairs_reported)
+
+    def record_budget(self, budget: Optional["Budget"]) -> None:
+        """Capture a budget's limits and consumption as gauges."""
+        if budget is None:
+            return
+        self.gauge("repro_budget_active", "1 when any limit is set").set(
+            1 if budget.active else 0
+        )
+        self.gauge("repro_budget_elapsed_seconds", "seconds since Budget.start").set(
+            budget.elapsed()
+        )
+        if budget.deadline_seconds is not None:
+            self.gauge("repro_budget_deadline_seconds", "wall-clock limit").set(
+                budget.deadline_seconds
+            )
+        if budget.max_output_bytes is not None:
+            self.gauge("repro_budget_max_output_bytes", "output byte cap").set(
+                budget.max_output_bytes
+            )
+        if budget.max_groups is not None:
+            self.gauge("repro_budget_max_groups", "emitted-group cap").set(
+                budget.max_groups
+            )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All metrics as one plain dictionary (stable name order)."""
+        out: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": {
+                        ("+Inf" if math.isinf(le) else repr(le)): n
+                        for le, n in metric.cumulative()
+                    },
+                }
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The snapshot in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for le, n in metric.cumulative():
+                    label = "+Inf" if math.isinf(le) else repr(le)
+                    lines.append(f'{name}_bucket{{le="{label}"}} {n}')
+                lines.append(f"{name}_sum {metric.sum!r}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {metric.value}")
+        return "\n".join(lines) + "\n"
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry the library records into."""
+    return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the global registry with a fresh one (start of a run)."""
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry

@@ -41,6 +41,9 @@ from typing import Callable, Optional
 from repro.core.groups import GroupBuffer
 from repro.core.results import JoinSink
 from repro.errors import PoisonTaskError, WorkerPoolError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as trace_span
 from repro.parallel.shared import SharedCounters
 from repro.parallel.supervisor import Supervisor, SupervisorConfig
 from repro.parallel.tasks import TaskState
@@ -49,6 +52,8 @@ from repro.resilience.chaos import FlakyWorker
 from repro.stats.counters import JoinStats
 
 __all__ = ["WorkScheduler"]
+
+logger = get_logger("parallel.scheduler")
 
 #: Maximum concurrent executions of one task (primary + speculative copy).
 _MAX_COPIES = 2
@@ -98,6 +103,8 @@ class WorkScheduler:
         self._rng = random.Random(config.seed)
         self._shared: Optional[SharedCounters] = None
         self.speculated: int = 0
+        self.speculation_wins: int = 0
+        self._spec_wids: dict[int, int] = {}  # task_id -> speculative worker
 
     # ------------------------------------------------------------------
     # Main loop
@@ -121,6 +128,18 @@ class WorkScheduler:
             self._shared.start()
             self._shared.publish(self.stats)
         supervisor.start()
+        registry = get_registry()
+        queue_depth = registry.gauge(
+            "repro_pool_queue_depth", "Tasks waiting for an idle worker"
+        )
+        heartbeat_age = registry.gauge(
+            "repro_pool_max_heartbeat_age_seconds",
+            "Silence of the quietest live worker",
+        )
+        logger.info(
+            "pool started",
+            extra={"workers": self.config.workers, "tasks": self._n - self.merged},
+        )
         try:
             while not self._done():
                 self._promote_ready_retries()
@@ -133,6 +152,8 @@ class WorkScheduler:
                 for handle, reason in supervisor.reap_unresponsive():
                     self._on_worker_killed(supervisor, handle, reason)
                 self._merge(on_task_merged)
+                queue_depth.set(len(self._pending) + len(self._delayed))
+                heartbeat_age.set(supervisor.max_heartbeat_age())
                 if self.budget is not None:
                     # Deadline must fire even while every task is stuck
                     # in flight and nothing reaches the merge cursor.
@@ -144,6 +165,9 @@ class WorkScheduler:
                     )
         finally:
             supervisor.shutdown()
+            queue_depth.set(0.0)
+            heartbeat_age.set(0.0)
+            self._export_pool_metrics(registry, supervisor)
 
         if self._quarantined:
             task_id = min(self._quarantined)
@@ -152,6 +176,37 @@ class WorkScheduler:
                 self._failures.get(task_id, 0),
                 self._quarantined[task_id],
             )
+
+    def _export_pool_metrics(self, registry, supervisor: Supervisor) -> None:
+        """Publish the run's pool-health totals and log one summary."""
+        registry.counter(
+            "repro_pool_respawns_total", "Workers respawned after death"
+        ).inc(supervisor.respawns)
+        registry.counter(
+            "repro_pool_speculated_total", "Straggler tasks re-dispatched"
+        ).inc(self.speculated)
+        registry.counter(
+            "repro_pool_speculation_wins_total",
+            "Speculative copies that finished first",
+        ).inc(self.speculation_wins)
+        registry.counter(
+            "repro_pool_task_retries_total", "Task execution failures retried"
+        ).inc(sum(self._failures.values()))
+        registry.counter(
+            "repro_pool_quarantined_total", "Tasks quarantined as poison"
+        ).inc(len(self._quarantined))
+        logger.info(
+            "pool finished",
+            extra={
+                "merged": self.merged,
+                "tasks": self._n,
+                "respawns": supervisor.respawns,
+                "speculated": self.speculated,
+                "speculation_wins": self.speculation_wins,
+                "retries": sum(self._failures.values()),
+                "quarantined": len(self._quarantined),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Completion predicates
@@ -222,9 +277,15 @@ class WorkScheduler:
             if not idle:
                 break
             handle = idle.pop()
-            if supervisor.dispatch(handle, slow.current):
-                self._in_flight[slow.current] += 1
+            task_id = slow.current
+            if supervisor.dispatch(handle, task_id):
+                self._in_flight[task_id] += 1
                 self.speculated += 1
+                self._spec_wids[task_id] = handle.wid
+                logger.debug(
+                    "speculating straggler task",
+                    extra={"task": task_id, "worker": handle.wid},
+                )
 
     def _record_failure(self, task_id: int, reason: str) -> None:
         if not self._runnable(task_id):
@@ -234,7 +295,15 @@ class WorkScheduler:
         self._last_error[task_id] = reason
         if count > self.config.max_task_retries:
             self._quarantined[task_id] = reason
+            logger.warning(
+                "quarantining poison task",
+                extra={"task": task_id, "failures": count, "reason": reason},
+            )
             return
+        logger.debug(
+            "task failed, will retry",
+            extra={"task": task_id, "failures": count, "reason": reason},
+        )
         # Decorrelated jitter: sleep ~ U(base, 3 * previous), capped.
         prev = self._backoff.get(task_id, self.config.backoff_base)
         delay = min(
@@ -262,6 +331,8 @@ class WorkScheduler:
             self._durations.append(elapsed)
             if self._runnable(task_id):
                 self._completed[task_id] = (events, counters)
+                if self._spec_wids.get(task_id) == handle.wid:
+                    self.speculation_wins += 1
         elif kind == "err":
             self._record_failure(task_id, payload[2])
         elif kind == "breach":
@@ -304,22 +375,34 @@ class WorkScheduler:
 
     def _merge(self, on_task_merged: Optional[Callable[[int], None]]) -> None:
         shared = self._shared
+        if self.merged >= self._n:
+            return
+        if self.merged not in self._completed and not (
+            self.skip_poisoned and self.merged in self._quarantined
+        ):
+            return  # nothing at the cursor yet; skip the span entirely
         progressed = False
-        while self.merged < self._n:
-            task_id = self.merged
-            if task_id in self._completed:
-                events, counters = self._completed.pop(task_id)
-                if self.budget is not None:
-                    self.budget.check(self.stats)
-                self.state.apply(events, counters, self.sink, self.buffer, self.stats)
-                self.merged += 1
-                progressed = True
-                if on_task_merged is not None:
-                    on_task_merged(self.merged)
-            elif self.skip_poisoned and task_id in self._quarantined:
-                self.merged += 1  # hole acknowledged; partial result only
-                progressed = True
-            else:
-                break
+        start_cursor = self.merged
+        with trace_span("csj-merge", cursor=start_cursor) as sp:
+            while self.merged < self._n:
+                task_id = self.merged
+                if task_id in self._completed:
+                    events, counters = self._completed.pop(task_id)
+                    if self.budget is not None:
+                        self.budget.check(self.stats)
+                    self.state.apply(
+                        events, counters, self.sink, self.buffer, self.stats
+                    )
+                    self.merged += 1
+                    progressed = True
+                    if on_task_merged is not None:
+                        on_task_merged(self.merged)
+                elif self.skip_poisoned and task_id in self._quarantined:
+                    self.merged += 1  # hole acknowledged; partial result only
+                    progressed = True
+                else:
+                    break
+            if hasattr(sp, "attrs"):
+                sp.attrs["merged"] = self.merged - start_cursor
         if progressed and shared is not None:
             shared.publish(self.stats)

@@ -29,11 +29,16 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import InvalidInputError, WorkerPoolError
+from repro.obs.logging import bind_context, get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import trace_event
 from repro.parallel.shared import SharedCounters
 from repro.parallel.tasks import JoinSpec
 from repro.resilience.chaos import FlakyWorker
 
 __all__ = ["SupervisorConfig", "Supervisor"]
+
+logger = get_logger("parallel.supervisor")
 
 
 @dataclass
@@ -82,8 +87,10 @@ def _worker_main(
     shared: Optional[SharedCounters],
     heartbeat_interval: float,
     fault: Optional[FlakyWorker],
+    wid: int = -1,
 ) -> None:
     """Entry point of one worker process."""
+    bind_context(worker=wid)  # stamps every log record from this process
     send_lock = threading.Lock()
     stop = threading.Event()
 
@@ -197,6 +204,7 @@ class Supervisor:
 
     def _spawn(self) -> _WorkerHandle:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        wid = self._next_wid
         proc = self.ctx.Process(
             target=_worker_main,
             args=(
@@ -205,6 +213,7 @@ class Supervisor:
                 self.shared,
                 self.config.heartbeat_interval,
                 self.fault,
+                wid,
             ),
             daemon=True,
         )
@@ -213,8 +222,13 @@ class Supervisor:
         except OSError as exc:  # pragma: no cover - resource exhaustion
             raise WorkerPoolError(f"cannot spawn worker process: {exc}") from exc
         child_conn.close()
-        handle = _WorkerHandle(self._next_wid, proc, parent_conn)
+        handle = _WorkerHandle(wid, proc, parent_conn)
         self._next_wid += 1
+        get_registry().counter(
+            "repro_pool_spawns_total", "Worker processes started"
+        ).inc()
+        logger.debug("worker spawned", extra={"worker": wid, "pid": proc.pid})
+        trace_event("worker-spawn", worker=wid)
         return handle
 
     def kill(self, handle: _WorkerHandle) -> None:
@@ -231,10 +245,15 @@ class Supervisor:
             handle.conn.close()
         except OSError:  # pragma: no cover
             pass
+        get_registry().counter(
+            "repro_pool_kills_total", "Worker processes hard-killed by the parent"
+        ).inc()
+        trace_event("worker-kill", worker=handle.wid)
 
     def respawn(self) -> _WorkerHandle:
         """Spawn a replacement worker and track the respawn count."""
         self.respawns += 1
+        logger.warning("respawning worker", extra={"respawns": self.respawns})
         handle = self._spawn()
         self.workers.append(handle)
         return handle
@@ -337,6 +356,17 @@ class Supervisor:
                 victims.append(
                     (handle, f"worker w{handle.wid} stopped heartbeating")
                 )
-        for handle, _reason in victims:
+        for handle, reason in victims:
+            logger.warning(
+                "killing unresponsive worker",
+                extra={"worker": handle.wid, "reason": reason},
+            )
             self.kill(handle)
         return victims
+
+    def max_heartbeat_age(self) -> float:
+        """Seconds since the quietest live worker was last heard from."""
+        if not self.workers:
+            return 0.0
+        now = time.monotonic()
+        return max(now - h.last_seen for h in self.workers)

@@ -52,11 +52,16 @@ from repro.errors import (
 )
 from repro.geometry.metrics import get_metric
 from repro.io.writer import width_for
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as trace_span
 from repro.resilience.budget import Budget
 from repro.resilience.sinks import DurableTextSink
 from repro.stats.counters import JoinStats
 
 __all__ = ["CheckpointedJoin", "read_journal"]
+
+logger = get_logger("resilience.checkpoint")
 
 JOURNAL_VERSION = 1
 
@@ -269,6 +274,7 @@ class CheckpointedJoin:
         task_timeout: Optional[float] = None,
         fault: object = None,
         supervisor_config: object = None,
+        stats: Optional[JoinStats] = None,
     ):
         self.points = validate_points(points)
         self.eps = validate_eps(eps)
@@ -302,6 +308,9 @@ class CheckpointedJoin:
         self.task_timeout = task_timeout
         self.fault = fault
         self.supervisor_config = supervisor_config
+        # Externally supplied stats are *observed* (progress heartbeats,
+        # metrics) — the run still owns all mutation; pass a fresh one.
+        self.stats = stats
 
     # -- identity ----------------------------------------------------------
     def fingerprint(self) -> dict:
@@ -343,7 +352,7 @@ class CheckpointedJoin:
         family, compact = _ALGORITHMS[self.algorithm]
         pts = self.points
         width = width_for(len(pts))
-        stats = JoinStats()
+        stats = self.stats if self.stats is not None else JoinStats()
         cursor = 0
         window_state: Optional[list] = None
 
@@ -366,6 +375,13 @@ class CheckpointedJoin:
                 window_state = ckpt.get("window")
             self._truncate_output(offset)
             journal = open(self.journal_path, "a", encoding="ascii")
+            get_registry().counter(
+                "repro_checkpoint_resumes_total", "Runs resumed from a journal"
+            ).inc()
+            logger.info(
+                "resuming from checkpoint",
+                extra={"cursor": cursor, "offset": offset},
+            )
         else:
             journal = open(self.journal_path, "w", encoding="ascii")
             journal.write(
@@ -538,20 +554,28 @@ class CheckpointedJoin:
     ) -> None:
         # Order matters: the output bytes must be durable *before* the
         # journal record that declares them so.
-        inner.sync()
-        record = {
-            "type": "ckpt",
-            "cursor": int(cursor),
-            "offset": int(inner.tell()),
-            "stats": stats.as_dict(),
-        }
-        if buffer is not None and buffer.g > 0:
-            record["window"] = _serialize_window(buffer)
-        if final:
-            record["done"] = True
-        journal.write(_encode_record(record))
-        journal.flush()
-        os.fsync(journal.fileno())
+        with trace_span("checkpoint", cursor=int(cursor), final=final):
+            inner.sync()
+            record = {
+                "type": "ckpt",
+                "cursor": int(cursor),
+                "offset": int(inner.tell()),
+                "stats": stats.as_dict(),
+            }
+            if buffer is not None and buffer.g > 0:
+                record["window"] = _serialize_window(buffer)
+            if final:
+                record["done"] = True
+            journal.write(_encode_record(record))
+            journal.flush()
+            os.fsync(journal.fileno())
+        get_registry().counter(
+            "repro_checkpoint_records_total", "Checkpoint records journaled"
+        ).inc()
+        logger.debug(
+            "checkpoint written",
+            extra={"cursor": int(cursor), "offset": record["offset"], "final": final},
+        )
 
     def _truncate_output(self, offset: int) -> None:
         if not os.path.exists(self.output_path):

@@ -30,12 +30,16 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 from repro.core.results import JoinSink, TextSink
 from repro.errors import SinkIOError
 from repro.io.writer import FixedWidthWriter
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
 from repro.stats.counters import JoinStats
 
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
 __all__ = ["AtomicTextSink", "DurableTextSink", "RetryingSink"]
+
+logger = get_logger("resilience.sinks")
 
 
 class DurableTextSink(TextSink):
@@ -229,6 +233,18 @@ class RetryingSink(JoinSink):
                         ) from exc
                     pause = min(pause, left)
                 self.retries += 1
+                get_registry().counter(
+                    "repro_sink_retries_total",
+                    "Transient sink write failures absorbed by retry",
+                ).inc()
+                logger.warning(
+                    "sink write failed, retrying",
+                    extra={
+                        "attempt": attempt + 1,
+                        "pause_seconds": round(pause, 4),
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
                 self._sleep(pause)
 
     # -- delegation: accounting happens once, in the inner sink ------------

@@ -85,18 +85,37 @@ class JoinStats:
         return self.links_emitted
 
     def as_dict(self) -> dict[str, float]:
-        """Return all counters as a plain dictionary (for table printing)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """All counters plus the derived values as a plain dictionary.
+
+        The derived :attr:`total_time` and :attr:`pairs_reported`
+        properties are included explicitly — exported metrics and tables
+        must not silently lose the paper's headline runtime number.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["total_time"] = self.total_time
+        data["pairs_reported"] = self.pairs_reported
+        return data
 
     def reset(self) -> None:
-        """Zero every counter in place."""
+        """Zero every counter in place, preserving each declared type.
+
+        Uses the field *defaults* (``0`` for counters, ``0.0`` for the
+        time accumulators) rather than inspecting ``f.type``: under
+        ``from __future__ import annotations`` the field types are
+        strings, so a ``f.type is int`` test silently resets int
+        counters to ``0.0`` and they accumulate as floats thereafter.
+        """
         for f in fields(self):
-            setattr(self, f.name, 0 if f.type is int else 0.0)
+            setattr(self, f.name, f.default)
 
 
 @dataclass
 class Timer:
     """Context manager accumulating elapsed wall-clock seconds.
+
+    Re-entrant: nested ``with`` blocks on the same timer count the
+    outermost interval exactly once instead of clobbering the start
+    mark and double-counting the inner region.
 
     >>> t = Timer()
     >>> with t:
@@ -107,13 +126,20 @@ class Timer:
 
     elapsed: float = 0.0
     _start: float = field(default=0.0, repr=False)
+    _depth: int = field(default=0, repr=False)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed += time.perf_counter() - self._start
+        self._depth -= 1
+        if self._depth == 0:
+            self.elapsed += time.perf_counter() - self._start
 
     def reset(self) -> None:
         self.elapsed = 0.0
+        self._depth = 0
+        self._start = 0.0

@@ -44,9 +44,11 @@ class TestJoinCommand:
              "--algorithm", "csj", "--verify"]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "groups emitted" in out
-        assert "OK" in out
+        captured = capsys.readouterr()
+        # Diagnostics go to stderr so stdout stays clean for pipelines.
+        assert captured.out == ""
+        assert "groups emitted" in captured.err
+        assert "OK" in captured.err
 
     def test_input_file(self, tmp_path, capsys):
         path = tmp_path / "pts.txt"
@@ -81,6 +83,108 @@ class TestJoinCommand:
         ) == 0
 
 
+class TestObservabilityFlags:
+    def _run(self, tmp_path, *extra):
+        pts = tmp_path / "pts.txt"
+        np.savetxt(pts, np.random.default_rng(0).random((200, 2)))
+        return main(["join", "--input", str(pts), "--eps", "0.1", *extra])
+
+    def test_log_json_stderr_is_parseable(self, tmp_path, capsys):
+        import json
+
+        assert self._run(tmp_path, "--log-json") == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert lines
+        records = [json.loads(ln) for ln in lines]
+        summary = [r for r in records if r.get("event") == "run summary"]
+        assert len(summary) == 1
+        assert summary[0]["algorithm"].startswith("csj")
+        assert all("run" in r and "eps" in r for r in records)
+
+    def test_plain_log_level(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--log-level", "debug") == 0
+        err = capsys.readouterr().err
+        assert "join starting" in err
+        assert "links emitted" in err  # human summary still present
+
+    def test_trace_writes_spans(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.trace.jsonl"
+        assert self._run(tmp_path, "--trace", str(trace)) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        records = [json.loads(ln) for ln in lines]
+        assert any(r["name"] == "descend" for r in records)
+        assert all({"name", "path", "ts", "dur", "depth"} <= r.keys()
+                   for r in records)
+
+    def test_trace_default_path_next_to_output(self, tmp_path, capsys):
+        out = tmp_path / "result.txt"
+        assert self._run(tmp_path, "--output", str(out), "--trace") == 0
+        assert (tmp_path / "result.txt.trace.jsonl").exists()
+
+    def test_metrics_out_json(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert self._run(tmp_path, "--metrics-out", str(metrics)) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["repro_join_links_emitted_total"] >= 0
+        assert "repro_join_total_time_seconds_total" in snapshot
+
+    def test_metrics_out_prometheus(self, tmp_path, capsys):
+        metrics = tmp_path / "m.prom"
+        assert self._run(tmp_path, "--metrics-out", str(metrics)) == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_join_links_emitted_total counter" in text
+
+    def test_metrics_match_joinstats(self, tmp_path, capsys):
+        import json
+
+        pts = tmp_path / "pts.txt"
+        np.savetxt(pts, np.random.default_rng(1).random((300, 2)))
+        metrics = tmp_path / "m.json"
+        assert main(["join", "--input", str(pts), "--eps", "0.08",
+                     "--metrics-out", str(metrics)]) == 0
+
+        from repro.api import similarity_join
+
+        expected = similarity_join(
+            np.loadtxt(pts, ndmin=2), 0.08, algorithm="csj", g=10
+        ).stats
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["repro_join_links_emitted_total"] == expected.links_emitted
+        assert snapshot["repro_join_groups_emitted_total"] == expected.groups_emitted
+        assert snapshot["repro_join_bytes_written_total"] == expected.bytes_written
+        assert (
+            snapshot["repro_join_distance_computations_total"]
+            == expected.distance_computations
+        )
+
+    def test_log_json_error_path_stays_parseable(self, tmp_path, capsys):
+        import json
+
+        assert self._run(tmp_path, "--log-json", "--deadline", "0") == 3
+        err = capsys.readouterr().err
+        records = [json.loads(ln) for ln in err.splitlines() if ln.strip()]
+        errors = [r for r in records if r["level"] == "error"]
+        assert len(errors) == 1
+        assert "budget exceeded" in errors[0]["event"]
+        assert errors[0]["exit_code"] == 3
+
+    def test_progress_heartbeat_logs(self, tmp_path, capsys):
+        pts = tmp_path / "pts.txt"
+        np.savetxt(pts, np.random.default_rng(2).random((3000, 2)))
+        # A millisecond interval guarantees beats during this join; the
+        # --progress flag alone must make the heartbeat logger visible.
+        assert main(["join", "--input", str(pts), "--eps", "0.05",
+                     "--progress", "0.001"]) == 0
+        assert "progress" in capsys.readouterr().err
+
+
 class TestClusterCommand:
     def test_cluster_output(self, capsys):
         code = main(
@@ -112,7 +216,7 @@ class TestResilienceFlags:
         )
         assert code == 0
         assert out.exists() and journal.exists()
-        assert "checkpoint" in capsys.readouterr().out
+        assert "checkpoint" in capsys.readouterr().err
 
     def test_checkpoint_requires_output(self, tmp_path):
         pts = self._pts_file(tmp_path)
@@ -162,7 +266,7 @@ class TestResilienceFlags:
         code = main(["join", "--input", pts, "--eps", "0.2",
                      "--algorithm", "ssj", "--max-bytes", "100"])
         assert code == 0  # graceful: the estimator answered
-        assert "analytic estimate" in capsys.readouterr().out
+        assert "analytic estimate" in capsys.readouterr().err
 
     def test_max_bytes_csj_exit_code(self, tmp_path, capsys):
         pts = self._pts_file(tmp_path, n=400)

@@ -38,11 +38,60 @@ class TestJoinStats:
         assert d["links_emitted"] == 7
         assert set(d) >= {"distance_computations", "compute_time", "write_time"}
 
+    def test_as_dict_includes_derived_values(self):
+        stats = JoinStats(links_emitted=4, compute_time=1.5, write_time=0.5)
+        d = stats.as_dict()
+        assert d["total_time"] == 2.0
+        assert d["pairs_reported"] == 4
+
+    def test_as_dict_restores_identical_stats(self):
+        stats = JoinStats(links_emitted=9, groups_emitted=3, compute_time=0.25)
+        d = stats.as_dict()
+        restored = JoinStats()
+        from dataclasses import fields
+
+        for f in fields(JoinStats):
+            setattr(restored, f.name, d[f.name])
+        assert restored == stats
+        assert restored.as_dict() == d
+
     def test_reset(self):
         stats = JoinStats(links_emitted=7, compute_time=1.0)
         stats.reset()
         assert stats.links_emitted == 0
         assert stats.compute_time == 0.0
+
+    def test_reset_preserves_declared_types(self):
+        # Regression: under `from __future__ import annotations` field
+        # types are strings, so a `f.type is int` check silently reset
+        # int counters to 0.0 and they accumulated as floats thereafter.
+        stats = JoinStats(links_emitted=7, compute_time=1.0)
+        stats.reset()
+        from dataclasses import fields
+
+        for f in fields(JoinStats):
+            value = getattr(stats, f.name)
+            assert type(value) is type(f.default), f.name
+        assert type(stats.links_emitted) is int
+        assert type(stats.compute_time) is float
+        stats.links_emitted += 5
+        assert type(stats.links_emitted) is int
+
+    def test_add_preserves_declared_types(self):
+        a = JoinStats(links_emitted=2, compute_time=0.5)
+        b = JoinStats(links_emitted=3, compute_time=0.25)
+        c = a + b
+        assert type(c.links_emitted) is int
+        assert type(c.distance_computations) is int
+        assert type(c.compute_time) is float
+
+    def test_reset_then_add_stays_int(self):
+        a = JoinStats(links_emitted=2)
+        a.reset()
+        a.links_emitted = 4
+        c = a + JoinStats(links_emitted=1)
+        assert c.links_emitted == 5
+        assert type(c.links_emitted) is int
 
     def test_pairs_reported(self):
         assert JoinStats(links_emitted=4).pairs_reported == 4
@@ -65,3 +114,27 @@ class TestTimer:
             pass
         timer.reset()
         assert timer.elapsed == 0.0
+
+    def test_nested_entry_counts_outer_interval_once(self):
+        # Regression: re-entrant __enter__ used to clobber _start, so the
+        # outer interval before the inner block was silently dropped and
+        # the inner region was double-counted.
+        timer = Timer()
+        with timer:
+            time.sleep(0.02)
+            with timer:
+                time.sleep(0.01)
+            time.sleep(0.02)
+        # Exactly one wall-clock interval of ~0.05s, not ~0.01-0.03s.
+        assert timer.elapsed >= 0.045
+        assert timer.elapsed < 0.5
+
+    def test_nested_exit_restores_reentrancy(self):
+        timer = Timer()
+        with timer:
+            with timer:
+                pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first + 0.009
