@@ -82,6 +82,7 @@ def similarity_join(
     budget: Optional["Budget"] = None,
     workers: Optional[int] = None,
     task_timeout: Optional[float] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Similarity self-join of ``points`` with query range ``eps``.
 
@@ -108,6 +109,13 @@ def similarity_join(
     (:func:`repro.parallel.parallel_join`) with ``task_timeout`` as the
     per-task wall-clock limit; output is byte-identical to the serial
     run.  ``workers`` of ``None``, 0 or 1 stays in-process.
+
+    ``engine`` selects how tree algorithms prune: ``"vectorized"``
+    (default) runs the batched-kernel frontier engine,
+    ``"scalar"`` the per-pair recursive one.  Both produce byte-identical
+    output and identical counters; grid/partition algorithms ignore the
+    choice.  For a belt-and-braces run of *both* engines with an
+    equivalence check, see :func:`repro.core.verify.cross_check_engines`.
     """
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
@@ -149,6 +157,7 @@ def similarity_join(
             bulk=bulk,
             budget=budget,
             task_timeout=task_timeout,
+            engine=engine,
         )
     if algorithm == "egrid":
         return egrid_join(
@@ -168,10 +177,10 @@ def similarity_join(
         )
     tree = build_index(points, index, metric=metric, max_entries=max_entries, bulk=bulk)
     if algorithm == "ssj":
-        return _ssj(tree, eps, sink=sink, budget=budget)
+        return _ssj(tree, eps, sink=sink, budget=budget, engine=engine)
     if algorithm == "ncsj":
-        return _ncsj(tree, eps, sink=sink, budget=budget)
-    return _csj(tree, eps, g=g, sink=sink, budget=budget)
+        return _ncsj(tree, eps, sink=sink, budget=budget, engine=engine)
+    return _csj(tree, eps, g=g, sink=sink, budget=budget, engine=engine)
 
 
 def spatial_join_datasets(
@@ -185,14 +194,16 @@ def spatial_join_datasets(
     sink: Optional[JoinSink] = None,
     max_entries: int = 64,
     bulk: Optional[str] = "str",
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Spatial join between two datasets (Section IV-D).
 
     Builds one index per dataset and runs the dual-tree join; with
     ``compact`` the output uses group pairs, otherwise individual links.
+    ``engine`` selects the pruning engine as in :func:`similarity_join`.
     """
     tree_a = build_index(points_a, index, metric=metric, max_entries=max_entries, bulk=bulk)
     tree_b = build_index(points_b, index, metric=metric, max_entries=max_entries, bulk=bulk)
     if compact:
-        return compact_spatial_join(tree_a, tree_b, eps, g=g, sink=sink)
-    return spatial_join(tree_a, tree_b, eps, sink=sink)
+        return compact_spatial_join(tree_a, tree_b, eps, g=g, sink=sink, engine=engine)
+    return spatial_join(tree_a, tree_b, eps, sink=sink, engine=engine)

@@ -56,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("-g", type=int, default=10, help="CSJ merge window")
     join.add_argument("--index", default="rstar", choices=["rtree", "rstar", "mtree"])
     join.add_argument("--metric", default="euclidean")
+    join.add_argument(
+        "--engine",
+        default="vectorized",
+        choices=["vectorized", "scalar", "paranoid"],
+        help="pruning engine for tree algorithms: the batched-kernel "
+        "frontier engine (default), the per-pair recursive one, or "
+        "'paranoid' — run both and fail on any byte or counter divergence",
+    )
     join.add_argument("--output", help="write the result file here")
     join.add_argument(
         "--verify", action="store_true", help="check losslessness vs brute force"
@@ -215,6 +223,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
         raise SystemExit("csj join: --resume requires --checkpoint")
     if args.checkpoint and not args.output:
         raise SystemExit("csj join: --checkpoint requires --output")
+    if args.engine == "paranoid" and (args.output or args.checkpoint):
+        raise SystemExit(
+            "csj join: --engine paranoid runs both engines against "
+            "in-memory sinks; it is incompatible with --output/--checkpoint"
+        )
 
     # Observability wiring.  Logging goes to stderr so stdout stays clean
     # for piped consumers; --progress implies a visible logger.
@@ -274,12 +287,27 @@ def _cmd_join(args: argparse.Namespace) -> int:
                     workers=args.workers,
                     task_timeout=args.task_timeout,
                     stats=live_stats,
+                    engine=args.engine,
                 )
                 if args.progress is not None:
                     heartbeat = ProgressHeartbeat(
                         live_stats, interval=args.progress
                     ).start()
                 result = job.run(resume=args.resume)
+            elif args.engine == "paranoid":
+                from repro.core.verify import cross_check_engines
+
+                result = cross_check_engines(
+                    points,
+                    args.eps,
+                    algorithm=args.algorithm,
+                    g=args.g,
+                    index=args.index,
+                    metric=args.metric,
+                    budget=budget,
+                    workers=args.workers,
+                    task_timeout=args.task_timeout,
+                )
             else:
                 if args.output:
                     sink = TextSink(args.output, id_width=width_for(len(points)))
@@ -300,6 +328,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
                     budget=budget,
                     workers=args.workers,
                     task_timeout=args.task_timeout,
+                    engine=args.engine,
                 )
                 if args.output:
                     sink.close()

@@ -123,11 +123,14 @@ def leaf_self_delta(
     if k < 2:
         return [], 0
     pts = points[id_arr]
-    dists = metric.self_pairwise(pts)
+    # Condensed upper-triangle distances: same values and pair order as
+    # the full k x k matrix masked with triu, at ~half the peak memory.
+    t_rows, t_cols, dists = metric.condensed_self(pts)
     dc = k * (k - 1) // 2
-    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
-    if not len(rows):
+    hit = np.flatnonzero(dists < eps)
+    if not len(hit):
         return [], dc
+    rows, cols = t_rows[hit], t_cols[hit]
     if g == 0:
         return [("links", id_arr[rows], id_arr[cols])], dc
     coords = pts.tolist()
@@ -183,6 +186,7 @@ def csj(
     pager: Optional[NodePager] = None,
     budget: Optional["Budget"] = None,
     _algorithm_label: Optional[str] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Run the compact similarity join CSJ(g) on ``tree``.
 
@@ -190,6 +194,10 @@ def csj(
     (Figure 6).  ``g = 0`` degenerates to N-CSJ.  Returns a
     :class:`~repro.core.results.JoinResult` whose groups and links together
     imply exactly the SSJ output (Theorems 1 and 2).
+
+    ``engine`` selects the descent implementation (``"vectorized"`` /
+    ``"scalar"``), exactly as in :func:`repro.core.ssj.ssj`; results are
+    byte-identical either way.
 
     A breached ``budget`` stops the run cleanly: the in-flight group
     window is flushed first, so the sink holds a valid prefix of the
@@ -204,7 +212,7 @@ def csj(
     if sink is None:
         sink = CollectSink(id_width=width_for(tree.size))
     label = _algorithm_label or (f"csj({g})" if g else "ncsj")
-    runner = _CSJRunner(tree, float(eps), int(g), sink, pager, budget)
+    runner = _make_runner(tree, float(eps), int(g), sink, pager, budget, engine)
     if budget is not None:
         budget.start()
     start = time.perf_counter()
@@ -253,6 +261,7 @@ def ncsj(
     sink: Optional[JoinSink] = None,
     pager: Optional[NodePager] = None,
     budget: Optional["Budget"] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Run the naive compact similarity join N-CSJ on ``tree``.
 
@@ -261,8 +270,20 @@ def ncsj(
     """
     return csj(
         tree, eps, g=0, sink=sink, pager=pager, budget=budget,
-        _algorithm_label="ncsj",
+        _algorithm_label="ncsj", engine=engine,
     )
+
+
+def _make_runner(tree, eps, g, sink, pager, budget, engine) -> "_CSJRunner":
+    from repro.core.frontier import _VecCSJRunner, resolve_engine  # lazy: cycle
+
+    if resolve_engine(engine) == "vectorized":
+        from repro.index.packed import pack_index
+
+        packed = pack_index(tree)
+        if packed is not None:
+            return _VecCSJRunner(tree, eps, g, sink, pager, budget, packed)
+    return _CSJRunner(tree, eps, g, sink, pager, budget)
 
 
 class _CSJRunner:

@@ -38,6 +38,7 @@ def spatial_join(
     tree_b: SpatialIndex,
     eps: float,
     sink: Optional[JoinSink] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Standard dual-tree spatial join: every cross link individually.
 
@@ -45,7 +46,9 @@ def spatial_join(
     points and row ``j`` of ``tree_b``'s.  Links are therefore *not*
     normalised to ``i < j`` — the two sides are different relations.
     """
-    return _dual_join(tree_a, tree_b, eps, sink, g=None, label="ssj-spatial")
+    return _dual_join(
+        tree_a, tree_b, eps, sink, g=None, label="ssj-spatial", engine=engine
+    )
 
 
 def compact_spatial_join(
@@ -54,6 +57,7 @@ def compact_spatial_join(
     eps: float,
     g: int = 10,
     sink: Optional[JoinSink] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Compact dual-tree spatial join: group pairs plus residual links.
 
@@ -63,10 +67,10 @@ def compact_spatial_join(
     if g < 0:
         raise ValueError(f"window size g must be >= 0, got {g}")
     label = f"csj({g})-spatial" if g else "ncsj-spatial"
-    return _dual_join(tree_a, tree_b, eps, sink, g=g, label=label)
+    return _dual_join(tree_a, tree_b, eps, sink, g=g, label=label, engine=engine)
 
 
-def _dual_join(tree_a, tree_b, eps, sink, g, label) -> JoinResult:
+def _dual_join(tree_a, tree_b, eps, sink, g, label, engine="vectorized") -> JoinResult:
     if eps <= 0:
         raise ValueError(f"query range must be positive, got {eps}")
     if tree_a.metric != tree_b.metric:
@@ -75,7 +79,7 @@ def _dual_join(tree_a, tree_b, eps, sink, g, label) -> JoinResult:
         )
     if sink is None:
         sink = CollectSink(id_width=width_for(max(tree_a.size, tree_b.size)))
-    runner = _DualRunner(tree_a, tree_b, eps, g, sink)
+    runner = _make_runner(tree_a, tree_b, eps, g, sink, engine)
     start = time.perf_counter()
     if tree_a.root is not None and tree_b.root is not None:
         runner.join_pair(tree_a.root, tree_b.root)
@@ -84,6 +88,23 @@ def _dual_join(tree_a, tree_b, eps, sink, g, label) -> JoinResult:
     return JoinResult.from_sink(
         sink, eps=eps, algorithm=label, g=g, index_name=type(tree_a).name
     )
+
+
+def _make_runner(tree_a, tree_b, eps, g, sink, engine) -> "_DualRunner":
+    from repro.core.frontier import _VecDualRunner, resolve_engine  # lazy: cycle
+
+    if resolve_engine(engine) == "vectorized":
+        from repro.index.packed import pack_index
+
+        packed_a = pack_index(tree_a)
+        packed_b = pack_index(tree_b)
+        if (
+            packed_a is not None
+            and packed_b is not None
+            and packed_a.kind == packed_b.kind
+        ):
+            return _VecDualRunner(tree_a, tree_b, eps, g, sink, packed_a, packed_b)
+    return _DualRunner(tree_a, tree_b, eps, g, sink)
 
 
 class _PairGroup:

@@ -265,9 +265,10 @@ def cell_self_delta(
         if metric.norm(hi - lo) < eps:
             # Early termination as a group: the whole cell qualifies.
             return [("group", ids.tolist(), lo.tolist(), hi.tolist())], 0, 1, 1
-    dists = metric.self_pairwise(cell_pts)
+    t_rows, t_cols, dists = metric.condensed_self(cell_pts)
     dc = k * (k - 1) // 2
-    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
+    hit = np.flatnonzero(dists < eps)
+    rows, cols = t_rows[hit], t_cols[hit]
     if not compact:
         if not len(rows):
             return [], dc, 0, 0

@@ -1,0 +1,409 @@
+"""Vectorized frontier join engine — batched pruning over packed trees.
+
+The scalar runners in :mod:`repro.core.ssj`, :mod:`repro.core.csj` and
+:mod:`repro.core.dual` recurse node pair by node pair, calling the
+Python-level ``min_dist`` / ``union_diameter`` bounds once per candidate.
+The runners here replace the recursion with an **explicit-stack frontier
+loop** over a :class:`~repro.index.packed.PackedIndex`: pop a task, prune
+the whole fanout² candidate block with one kernel call
+(:mod:`repro.geometry.kernels`), push the survivors.
+
+Parity contract (enforced by the determinism test suite):
+
+* **Visit order** — subtasks are pushed in reverse so the LIFO pop order
+  reproduces the recursion's preorder exactly; sink writes, pager visits
+  and group-window mutations happen in the identical sequence.
+* **Float decisions** — the kernels perform the scalar bounds' exact
+  elementwise operations over float64 copies of the same per-node arrays,
+  so every ``< eps`` comparison resolves identically and the two engines
+  take the same branches everywhere.
+* **Counters** — final ``JoinStats`` are equal.  ``mbr_checks`` for a
+  candidate block are charged when the block is pruned (one batch) rather
+  than one-by-one between descents; nothing observes the interleaving
+  (:class:`~repro.resilience.budget.Budget` reads only deadline, output
+  bytes and group counts), and the totals match the scalar engine.
+
+Each vectorized runner subclasses its scalar twin and overrides only the
+descent; leaf emission, group buffering and budget/pager handling are
+inherited.  When a tree cannot be packed (object metrics, exotic node
+types) the drivers silently fall back to the scalar runner — engine
+selection changes performance, never results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.csj import _CSJRunner
+from repro.core.dual import _DualRunner
+from repro.core.ssj import _SSJRunner
+from repro.index.packed import PackedIndex, pack_index
+
+__all__ = [
+    "ENGINES",
+    "resolve_engine",
+    "enumerate_tree_tasks_packed",
+    "_VecSSJRunner",
+    "_VecCSJRunner",
+    "_VecDualRunner",
+]
+
+#: Engine names accepted by the join drivers.  ``"paranoid"`` is handled
+#: one level up (api / cli): it cross-checks both engines first.
+ENGINES = ("scalar", "vectorized")
+
+
+def resolve_engine(engine: str) -> str:
+    engine = (engine or "vectorized").lower()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    return engine
+
+
+# Frontier task tags.  A task is a tuple starting with one of these:
+#   (_NODE, nid)                  simJoin(n)        — Figure 3 lines 1-18
+#   (_NPAIRS, nid)                the deferred a<b child-pair block of n,
+#                                 popped after all child subtrees finish
+#                                 (the scalar pair loop runs after the
+#                                 child recursion)
+#   (_PAIR, n1, n2[, ud])         simJoin(n1, n2)   — Figure 3 lines 19-41;
+#                                 ``ud`` is the precomputed union diameter
+#                                 for the compact early stop
+_NODE, _NPAIRS, _PAIR = 0, 1, 2
+
+
+class _VecSSJRunner(_SSJRunner):
+    """Frontier-loop engine for the standard join."""
+
+    def __init__(self, tree, eps, sink, pager, budget, packed: PackedIndex):
+        super().__init__(tree, eps, sink, pager, budget)
+        self.packed = packed
+
+    def join_node(self, node) -> None:
+        p = self.packed
+        if node is not p.nodes[0]:
+            # Unpacked entry point (never hit by the drivers): stay scalar.
+            super().join_node(node)
+            return
+        stats = self.stats
+        eps = self.eps
+        budget = self.budget
+        pager = self.pager
+        nodes = p.nodes
+        leaf = p.leaf.tolist()
+        child_beg = p.child_beg.tolist()
+        child_end = p.child_end.tolist()
+        stack: list[tuple] = [(_NODE, 0, 0)]
+        push = stack.append
+        while stack:
+            tag, a, b = stack.pop()
+            if tag == _PAIR:
+                stats.node_pairs_visited += 1
+                if budget is not None:
+                    budget.check(stats)
+                if pager is not None:
+                    pager.visit(nodes[a])
+                    pager.visit(nodes[b])
+                la = leaf[a]
+                lb = leaf[b]
+                if la and lb:
+                    self._leaf_cross(nodes[a], nodes[b])
+                    continue
+                if la:
+                    beg, end = child_beg[b], child_end[b]
+                    stats.mbr_checks += end - beg
+                    _, cols = p.prune_cross([a], slice(beg, end), eps)
+                    for c in cols[::-1].tolist():
+                        push((_PAIR, a, beg + c))
+                elif lb:
+                    beg, end = child_beg[a], child_end[a]
+                    stats.mbr_checks += end - beg
+                    rows, _ = p.prune_cross(slice(beg, end), [b], eps)
+                    for r in rows[::-1].tolist():
+                        push((_PAIR, beg + r, b))
+                else:
+                    b1, e1 = child_beg[a], child_end[a]
+                    b2, e2 = child_beg[b], child_end[b]
+                    stats.mbr_checks += (e1 - b1) * (e2 - b2)
+                    rows, cols = p.prune_cross(slice(b1, e1), slice(b2, e2), eps)
+                    for r, c in zip(rows[::-1].tolist(), cols[::-1].tolist()):
+                        push((_PAIR, b1 + r, b2 + c))
+            elif tag == _NODE:
+                stats.nodes_visited += 1
+                if budget is not None:
+                    budget.check(stats)
+                if pager is not None:
+                    pager.visit(nodes[a])
+                if leaf[a]:
+                    self._leaf_self(nodes[a])
+                    continue
+                beg, end = child_beg[a], child_end[a]
+                push((_NPAIRS, a, 0))
+                for cid in range(end - 1, beg - 1, -1):
+                    push((_NODE, cid, 0))
+            else:  # _NPAIRS
+                beg, end = child_beg[a], child_end[a]
+                k = end - beg
+                stats.mbr_checks += k * (k - 1) // 2
+                rows, cols = p.prune_self(beg, end, eps)
+                for r, c in zip(rows[::-1].tolist(), cols[::-1].tolist()):
+                    push((_PAIR, beg + r, beg + c))
+
+
+class _VecCSJRunner(_CSJRunner):
+    """Frontier-loop engine for N-CSJ / CSJ(g).
+
+    Early stops use the packed per-node diameters and batched union
+    diameters: each surviving pair is pushed with its union diameter
+    already computed, and the ``mbr_checks`` charge for the test lands
+    when the pair is popped — exactly where the scalar runner charges it.
+    """
+
+    def __init__(self, tree, eps, g, sink, pager, budget, packed: PackedIndex):
+        super().__init__(tree, eps, g, sink, pager, budget)
+        self.packed = packed
+
+    def join_node(self, node) -> None:
+        p = self.packed
+        if node is not p.nodes[0]:
+            super().join_node(node)
+            return
+        stats = self.stats
+        eps = self.eps
+        budget = self.budget
+        pager = self.pager
+        nodes = p.nodes
+        leaf = p.leaf.tolist()
+        child_beg = p.child_beg.tolist()
+        child_end = p.child_end.tolist()
+        diam = p.diam.tolist()
+        stack: list[tuple] = [(_NODE, 0, 0, 0.0)]
+        push = stack.append
+
+        def push_pairs(rows, cols, base1, base2) -> None:
+            ids1 = rows + base1 if base1 else rows
+            ids2 = cols + base2 if base2 else cols
+            ud = p.union_diag(ids1, ids2)
+            for i1, i2, u in zip(
+                ids1[::-1].tolist(), ids2[::-1].tolist(), ud[::-1].tolist()
+            ):
+                push((_PAIR, i1, i2, u))
+
+        while stack:
+            tag, a, b, ud = stack.pop()
+            if tag == _PAIR:
+                stats.node_pairs_visited += 1
+                if budget is not None:
+                    budget.check(stats)
+                if pager is not None:
+                    pager.visit(nodes[a])
+                    pager.visit(nodes[b])
+                # Early stop (line 20): both subtrees form one group.
+                stats.mbr_checks += 1
+                if ud < eps:
+                    self._emit_pair_group(nodes[a], nodes[b])
+                    continue
+                la = leaf[a]
+                lb = leaf[b]
+                if la and lb:
+                    self._leaf_cross(nodes[a], nodes[b])
+                    continue
+                if la:
+                    beg, end = child_beg[b], child_end[b]
+                    stats.mbr_checks += end - beg
+                    _, cols = p.prune_cross([a], slice(beg, end), eps)
+                    push_pairs(np.full(len(cols), a, dtype=np.intp), cols, 0, beg)
+                elif lb:
+                    beg, end = child_beg[a], child_end[a]
+                    stats.mbr_checks += end - beg
+                    rows, _ = p.prune_cross(slice(beg, end), [b], eps)
+                    push_pairs(rows, np.full(len(rows), b, dtype=np.intp), beg, 0)
+                else:
+                    b1, e1 = child_beg[a], child_end[a]
+                    b2, e2 = child_beg[b], child_end[b]
+                    stats.mbr_checks += (e1 - b1) * (e2 - b2)
+                    rows, cols = p.prune_cross(slice(b1, e1), slice(b2, e2), eps)
+                    push_pairs(rows, cols, b1, b2)
+            elif tag == _NODE:
+                stats.nodes_visited += 1
+                if budget is not None:
+                    budget.check(stats)
+                if pager is not None:
+                    pager.visit(nodes[a])
+                # Early stop (line 2): the whole subtree is one group.
+                stats.mbr_checks += 1
+                if diam[a] < eps:
+                    self._emit_node_group(nodes[a])
+                    continue
+                if leaf[a]:
+                    self._leaf_self(nodes[a])
+                    continue
+                beg, end = child_beg[a], child_end[a]
+                push((_NPAIRS, a, 0, 0.0))
+                for cid in range(end - 1, beg - 1, -1):
+                    push((_NODE, cid, 0, 0.0))
+            else:  # _NPAIRS
+                beg, end = child_beg[a], child_end[a]
+                k = end - beg
+                stats.mbr_checks += k * (k - 1) // 2
+                rows, cols = p.prune_self(beg, end, eps)
+                push_pairs(rows, cols, beg, beg)
+
+
+class _VecDualRunner(_DualRunner):
+    """Frontier-loop engine for the dual-tree (two-dataset) joins."""
+
+    def __init__(self, tree_a, tree_b, eps, g, sink,
+                 packed_a: PackedIndex, packed_b: PackedIndex):
+        super().__init__(tree_a, tree_b, eps, g, sink)
+        self.packed_a = packed_a
+        self.packed_b = packed_b
+
+    def join_pair(self, n1, n2) -> None:
+        pa = self.packed_a
+        pb = self.packed_b
+        if n1 is not pa.nodes[0] or n2 is not pb.nodes[0]:
+            super().join_pair(n1, n2)
+            return
+        stats = self.stats
+        eps = self.eps
+        compact = self.compact
+        nodes_a = pa.nodes
+        nodes_b = pb.nodes
+        leaf_a = pa.leaf.tolist()
+        leaf_b = pb.leaf.tolist()
+        cb_a, ce_a = pa.child_beg.tolist(), pa.child_end.tolist()
+        cb_b, ce_b = pb.child_beg.tolist(), pb.child_end.tolist()
+        root_ud = (
+            float(pa.union_diag(np.array([0]), np.array([0]), pb)[0])
+            if compact
+            else 0.0
+        )
+        stack: list[tuple] = [(0, 0, root_ud)]
+        push = stack.append
+
+        def push_pairs(rows, cols, base1, base2) -> None:
+            ids1 = rows + base1 if base1 else rows
+            ids2 = cols + base2 if base2 else cols
+            if compact:
+                ud = pa.union_diag(ids1, ids2, pb)
+                for i1, i2, u in zip(
+                    ids1[::-1].tolist(), ids2[::-1].tolist(), ud[::-1].tolist()
+                ):
+                    push((i1, i2, u))
+            else:
+                for i1, i2 in zip(ids1[::-1].tolist(), ids2[::-1].tolist()):
+                    push((i1, i2, 0.0))
+
+        while stack:
+            aid, bid, ud = stack.pop()
+            stats.node_pairs_visited += 1
+            if compact:
+                stats.mbr_checks += 1
+                if ud < eps:
+                    self._emit_pair_group(nodes_a[aid], nodes_b[bid])
+                    continue
+            la = leaf_a[aid]
+            lb = leaf_b[bid]
+            if la and lb:
+                self._leaf_cross(nodes_a[aid], nodes_b[bid])
+                continue
+            if la:
+                beg, end = cb_b[bid], ce_b[bid]
+                stats.mbr_checks += end - beg
+                _, cols = pa.prune_cross([aid], slice(beg, end), eps, pb)
+                push_pairs(np.full(len(cols), aid, dtype=np.intp), cols, 0, beg)
+            elif lb:
+                beg, end = cb_a[aid], ce_a[aid]
+                stats.mbr_checks += end - beg
+                rows, _ = pa.prune_cross(slice(beg, end), [bid], eps, pb)
+                push_pairs(rows, np.full(len(rows), bid, dtype=np.intp), beg, 0)
+            else:
+                b1, e1 = cb_a[aid], ce_a[aid]
+                b2, e2 = cb_b[bid], ce_b[bid]
+                stats.mbr_checks += (e1 - b1) * (e2 - b2)
+                rows, cols = pa.prune_cross(slice(b1, e1), slice(b2, e2), eps, pb)
+                push_pairs(rows, cols, b1, b2)
+
+
+def enumerate_tree_tasks_packed(tree, eps: float, compact: bool) -> Optional[list]:
+    """Vectorized twin of ``checkpoint._enumerate_tree_tasks``.
+
+    Produces the identical work-unit tuple sequence — ``("group", node)``,
+    ``("self", node)``, ``("cross", n1, n2)``, ``("pgroup", n1, n2)`` with
+    the same :class:`~repro.index.base.IndexNode` objects in the same
+    order — using batched pruning instead of per-pair recursion, so
+    checkpoint fingerprints and parallel task ids are engine-independent
+    by construction.  Returns ``None`` when the tree cannot be packed.
+    """
+    packed = pack_index(tree)
+    if packed is None:
+        return None
+    tasks: list[tuple] = []
+    if tree.root is None or tree.size <= 1:
+        return tasks
+    p = packed
+    eps = float(eps)
+    nodes = p.nodes
+    leaf = p.leaf.tolist()
+    child_beg = p.child_beg.tolist()
+    child_end = p.child_end.tolist()
+    diam = p.diam.tolist()
+    stack: list[tuple] = [(_NODE, 0, 0, 0.0)]
+    push = stack.append
+
+    def push_pairs(rows, cols, base1, base2) -> None:
+        ids1 = rows + base1 if base1 else rows
+        ids2 = cols + base2 if base2 else cols
+        if compact:
+            ud = p.union_diag(ids1, ids2)
+            for i1, i2, u in zip(
+                ids1[::-1].tolist(), ids2[::-1].tolist(), ud[::-1].tolist()
+            ):
+                push((_PAIR, i1, i2, u))
+        else:
+            for i1, i2 in zip(ids1[::-1].tolist(), ids2[::-1].tolist()):
+                push((_PAIR, i1, i2, 0.0))
+
+    while stack:
+        tag, a, b, ud = stack.pop()
+        if tag == _PAIR:
+            if compact and ud < eps:
+                tasks.append(("pgroup", nodes[a], nodes[b]))
+                continue
+            la = leaf[a]
+            lb = leaf[b]
+            if la and lb:
+                tasks.append(("cross", nodes[a], nodes[b]))
+                continue
+            if la:
+                beg, end = child_beg[b], child_end[b]
+                _, cols = p.prune_cross([a], slice(beg, end), eps)
+                push_pairs(np.full(len(cols), a, dtype=np.intp), cols, 0, beg)
+            elif lb:
+                beg, end = child_beg[a], child_end[a]
+                rows, _ = p.prune_cross(slice(beg, end), [b], eps)
+                push_pairs(rows, np.full(len(rows), b, dtype=np.intp), beg, 0)
+            else:
+                b1, e1 = child_beg[a], child_end[a]
+                b2, e2 = child_beg[b], child_end[b]
+                rows, cols = p.prune_cross(slice(b1, e1), slice(b2, e2), eps)
+                push_pairs(rows, cols, b1, b2)
+        elif tag == _NODE:
+            if compact and diam[a] < eps:
+                tasks.append(("group", nodes[a]))
+                continue
+            if leaf[a]:
+                tasks.append(("self", nodes[a]))
+                continue
+            beg, end = child_beg[a], child_end[a]
+            push((_NPAIRS, a, 0, 0.0))
+            for cid in range(end - 1, beg - 1, -1):
+                push((_NODE, cid, 0, 0.0))
+        else:  # _NPAIRS
+            beg, end = child_beg[a], child_end[a]
+            rows, cols = p.prune_self(beg, end, eps)
+            push_pairs(rows, cols, beg, beg)
+    return tasks

@@ -88,6 +88,21 @@ class ObjectMetric(Metric):
     def self_pairwise(self, a: np.ndarray) -> np.ndarray:
         return self.pairwise(a, a)
 
+    def condensed_self(self, a: np.ndarray):
+        # The vector-space base implementation needs norm_rows; evaluate
+        # the user function per upper-triangle pair instead.
+        from repro.geometry.metrics import triu_pair_indices
+
+        rows_a = np.atleast_2d(np.asarray(a, dtype=float))
+        rows, cols = triu_pair_indices(len(rows_a))
+        objs = [self._resolve(r) for r in rows_a]
+        dists = np.fromiter(
+            (self._fn(objs[r], objs[c]) for r, c in zip(rows.tolist(), cols.tolist())),
+            dtype=float,
+            count=len(rows),
+        )
+        return rows, cols, dists
+
     def point_to_points(self, p, pts: np.ndarray) -> np.ndarray:
         rows = np.atleast_2d(np.asarray(pts, dtype=float))
         target = self._resolve(p)

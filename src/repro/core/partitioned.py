@@ -105,11 +105,12 @@ def partition_delta(
     if k < 2:
         return [], 0
     part_pts = pts[ids]
-    dists = metric.self_pairwise(part_pts)
+    t_rows, t_cols, dists = metric.condensed_self(part_pts)
     dc = k * (k - 1) // 2
-    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
-    if not len(rows):
+    hit = np.flatnonzero(dists < eps)
+    if not len(hit):
         return [], dc
+    rows, cols = t_rows[hit], t_cols[hit]
     # Reference-point de-duplication: the pair belongs to this partition
     # iff the partition of the *smaller id's home cell*... PBSM uses the
     # pair's reference point; we use the home cell of the pair's first

@@ -49,9 +49,11 @@ def leaf_self_pairs(
     k = len(id_arr)
     if k < 2:
         return id_arr[:0], id_arr[:0], 0
-    dists = metric.self_pairwise(points[id_arr])
-    rows, cols = np.nonzero(np.triu(dists < eps, k=1))
-    return id_arr[rows], id_arr[cols], k * (k - 1) // 2
+    # Condensed upper-triangle distances: same values and pair order as
+    # the full k x k matrix masked with triu, at ~half the peak memory.
+    rows, cols, dists = metric.condensed_self(points[id_arr])
+    hit = np.flatnonzero(dists < eps)
+    return id_arr[rows[hit]], id_arr[cols[hit]], k * (k - 1) // 2
 
 
 def leaf_cross_pairs(
@@ -73,12 +75,19 @@ def ssj(
     sink: Optional[JoinSink] = None,
     pager: Optional[NodePager] = None,
     budget: Optional["Budget"] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Run the standard similarity join on ``tree`` with range ``eps``.
 
     Every qualifying pair is written to ``sink`` as an individual link.
     Returns a :class:`~repro.core.results.JoinResult`; when ``sink`` is
     omitted a collecting sink is used and the result carries the links.
+
+    ``engine`` selects the descent implementation: ``"vectorized"``
+    (default) prunes candidate blocks with the batched kernels of
+    :mod:`repro.core.frontier`, ``"scalar"`` recurses pair by pair.  The
+    two produce byte-identical output and equal counters; trees that
+    cannot be packed fall back to scalar automatically.
 
     ``budget`` bounds the run cooperatively.  An output-byte breach
     *degrades gracefully*: instead of dying mid-explosion (the paper's
@@ -92,7 +101,7 @@ def ssj(
         raise ValueError(f"query range must be positive, got {eps}")
     if sink is None:
         sink = CollectSink(id_width=width_for(tree.size))
-    runner = _SSJRunner(tree, float(eps), sink, pager, budget)
+    runner = _make_runner(tree, float(eps), sink, pager, budget, engine)
     if budget is not None:
         budget.start()
     start = time.perf_counter()
@@ -130,6 +139,18 @@ def ssj(
     return JoinResult.from_sink(
         sink, eps=eps, algorithm="ssj", index_name=type(tree).name
     )
+
+
+def _make_runner(tree, eps, sink, pager, budget, engine) -> "_SSJRunner":
+    from repro.core.frontier import _VecSSJRunner, resolve_engine  # lazy: cycle
+
+    if resolve_engine(engine) == "vectorized":
+        from repro.index.packed import pack_index
+
+        packed = pack_index(tree)
+        if packed is not None:
+            return _VecSSJRunner(tree, eps, sink, pager, budget, packed)
+    return _SSJRunner(tree, eps, sink, pager, budget)
 
 
 def _estimated_fallback(tree: SpatialIndex, eps: float, sink: JoinSink, partial_stats):

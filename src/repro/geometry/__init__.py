@@ -9,6 +9,7 @@ with no dependency on any spatial library.  The two bounding shapes are
 * :class:`~repro.geometry.ball.Ball` — bounding balls, used by the M-tree.
 """
 
+from repro.geometry import kernels
 from repro.geometry.ball import Ball
 from repro.geometry.mbr import MBR
 from repro.geometry.metrics import (
@@ -18,6 +19,7 @@ from repro.geometry.metrics import (
     Metric,
     Minkowski,
     get_metric,
+    triu_pair_indices,
 )
 
 __all__ = [
@@ -29,4 +31,6 @@ __all__ = [
     "Manhattan",
     "Chebyshev",
     "get_metric",
+    "triu_pair_indices",
+    "kernels",
 ]

@@ -63,12 +63,27 @@ class MBR:
     @classmethod
     def of_mbrs(cls, mbrs: Iterable["MBR"]) -> "MBR":
         """Tightest MBR covering a non-empty iterable of MBRs."""
+        los, his = cls.stack(mbrs)
+        return cls(los.min(axis=0), his.max(axis=0))
+
+    @classmethod
+    def stack(cls, mbrs: Iterable["MBR"]) -> "tuple[np.ndarray, np.ndarray]":
+        """Pack an iterable of MBRs into ``(n, d)`` lo / hi corner matrices.
+
+        One preallocated array per corner, filled row by row — no
+        intermediate list of per-rectangle arrays.  This is the packing
+        primitive shared by :meth:`of_mbrs`, the bulk loaders and the
+        packed-index builder.
+        """
         mbrs = list(mbrs)
         if not mbrs:
             raise ValueError("cannot build an MBR of zero rectangles")
-        lo = np.min([m.lo for m in mbrs], axis=0)
-        hi = np.max([m.hi for m in mbrs], axis=0)
-        return cls(lo, hi)
+        los = np.empty((len(mbrs), mbrs[0].lo.shape[0]), dtype=float)
+        his = np.empty_like(los)
+        for i, m in enumerate(mbrs):
+            los[i] = m.lo
+            his[i] = m.hi
+        return los, his
 
     def copy(self) -> "MBR":
         return MBR(self.lo, self.hi)

@@ -11,6 +11,7 @@ only in their bounding shapes and maintenance heuristics.
 from repro.index.base import IndexInvariantError, IndexNode, SpatialIndex
 from repro.index.bulk import bulk_load
 from repro.index.mtree import MTree
+from repro.index.packed import PackedIndex, pack_index
 from repro.index.persist import load_index, save_index
 from repro.index.rstar import RStarTree
 from repro.index.rtree import RTree
@@ -22,6 +23,8 @@ __all__ = [
     "RTree",
     "RStarTree",
     "MTree",
+    "PackedIndex",
+    "pack_index",
     "bulk_load",
     "save_index",
     "load_index",

@@ -1,0 +1,229 @@
+"""Structure-of-arrays view of a spatial index for the frontier engine.
+
+The tree indexes store one Python object per node, so any traversal pays
+attribute lookups and tiny-array arithmetic per node pair.
+:func:`pack_index` flattens a finished tree once per join into level-order
+arrays:
+
+::
+
+    nodes      : packed id -> IndexNode        (for pagers / group emission)
+    leaf       : (n,) bool                     is node a leaf?
+    child_beg/child_end : (n,) intp            children of i are ids
+                                               [child_beg[i], child_end[i])
+    entry_beg/entry_end : (n,) intp            leaf i's entries are
+                                               entries[entry_beg[i]:entry_end[i]]
+    entries    : (total_entries,) intp         contiguous leaf entry blocks
+    lo, hi     : (n, d) float                  rect kind: MBR corners
+    centers    : (n, d) float; radii : (n,)    ball kind: covering balls
+    diam       : (n,) float                    node diameters, batched
+
+Packing uses *level-order* numbering, which makes every node's children a
+contiguous id range — child geometry blocks are array slices (views), not
+gathers.  ``diam`` and all pairwise bounds computed from these arrays are
+bit-identical to the per-node scalar methods because the packed rows are
+float64 copies of the very arrays those methods read, combined with the
+same elementwise operations (see :mod:`repro.geometry.kernels`).
+
+``pack_index`` returns ``None`` whenever the index cannot be packed — an
+unknown node type, a mixed-kind tree, or a metric without a vector norm
+(e.g. :class:`repro.core.metricspace.ObjectMetric`) — and callers fall
+back to the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import kernels
+from repro.geometry.mbr import MBR
+from repro.index.base import IndexNode, SpatialIndex
+
+__all__ = ["PackedIndex", "pack_index"]
+
+
+class PackedIndex:
+    """Flattened (structure-of-arrays) form of one spatial index tree."""
+
+    __slots__ = (
+        "kind",
+        "points",
+        "metric",
+        "nodes",
+        "leaf",
+        "child_beg",
+        "child_end",
+        "entry_beg",
+        "entry_end",
+        "entries",
+        "lo",
+        "hi",
+        "centers",
+        "radii",
+        "diam",
+    )
+
+    def __init__(self, kind: str, points: np.ndarray, metric):
+        self.kind = kind
+        self.points = points
+        self.metric = metric
+        self.nodes: list[IndexNode] = []
+        self.leaf: np.ndarray = None
+        self.child_beg: np.ndarray = None
+        self.child_end: np.ndarray = None
+        self.entry_beg: np.ndarray = None
+        self.entry_end: np.ndarray = None
+        self.entries: np.ndarray = None
+        self.lo: Optional[np.ndarray] = None
+        self.hi: Optional[np.ndarray] = None
+        self.centers: Optional[np.ndarray] = None
+        self.radii: Optional[np.ndarray] = None
+        self.diam: np.ndarray = None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Batched pruning over packed node-id selections
+    # ------------------------------------------------------------------
+    def prune_self(self, beg: int, end: int, eps: float):
+        """Surviving ``(a, b)``, ``a < b`` pairs within one child block.
+
+        Returned indices are *local* offsets into ``[beg, end)``, in the
+        canonical row-major order of the scalar pair loop.
+        """
+        if self.kind == "rect":
+            return kernels.self_pairs_within(
+                self.lo[beg:end], self.hi[beg:end], eps, self.metric
+            )
+        return kernels.ball_self_pairs_within(
+            self.centers[beg:end], self.radii[beg:end], eps, self.metric
+        )
+
+    def prune_cross(self, ids1, ids2, eps: float, other: "PackedIndex" = None):
+        """Surviving cross pairs between two packed-id selections.
+
+        ``ids1`` / ``ids2`` are packed node ids (arrays or slices) of this
+        index and of ``other`` (defaults to self, for self-join descents).
+        Returns *local* row/col offsets into the two selections, row-major.
+        """
+        if other is None:
+            other = self
+        if self.kind == "rect":
+            return kernels.cross_pairs_within(
+                self.lo[ids1], self.hi[ids1], other.lo[ids2], other.hi[ids2],
+                eps, self.metric,
+            )
+        return kernels.ball_cross_pairs_within(
+            self.centers[ids1], self.radii[ids1],
+            other.centers[ids2], other.radii[ids2],
+            eps, self.metric,
+        )
+
+    def union_diag(self, ids1, ids2, other: "PackedIndex" = None) -> np.ndarray:
+        """Union diameters of aligned packed-id pairs (batched
+        ``IndexNode.union_diameter``)."""
+        if other is None:
+            other = self
+        if self.kind == "rect":
+            return kernels.union_diagonal_pairs(
+                self.lo[ids1], self.hi[ids1], other.lo[ids2], other.hi[ids2],
+                self.metric,
+            )
+        return kernels.ball_union_diameter_pairs(
+            self.centers[ids1], self.radii[ids1],
+            other.centers[ids2], other.radii[ids2],
+            self.metric,
+        )
+
+
+def _metric_is_vectorizable(metric, dim: int) -> bool:
+    """Probe ``metric.norm_rows`` — object metrics raise, vector ones don't."""
+    try:
+        out = metric.norm_rows(np.zeros((1, max(dim, 1))))
+    except Exception:
+        return False
+    return isinstance(out, np.ndarray)
+
+
+def pack_index(index: SpatialIndex) -> Optional[PackedIndex]:
+    """Flatten ``index`` into a :class:`PackedIndex`, or ``None``.
+
+    ``None`` signals "use the scalar engine": the tree is empty, its node
+    type is not rectangle- or ball-shaped, or its metric has no vector
+    norm to batch with.
+    """
+    from repro.index.mtree import BallNode
+    from repro.index.rtree import RectNode
+
+    root = index.root
+    if root is None:
+        return None
+    if isinstance(root, RectNode):
+        kind = "rect"
+        node_cls = RectNode
+    elif isinstance(root, BallNode):
+        kind = "ball"
+        node_cls = BallNode
+    else:
+        return None
+    points = index.points
+    dim = points.shape[1] if getattr(points, "ndim", 0) == 2 else 0
+    if not _metric_is_vectorizable(index.metric, dim):
+        return None
+
+    packed = PackedIndex(kind, points, index.metric)
+    nodes = packed.nodes
+    nodes.append(root)
+    # Level-order fill: appending each node's children as a batch numbers
+    # them contiguously, so child blocks are slices of the packed arrays.
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        if not isinstance(node, node_cls):
+            return None  # mixed node kinds: no packed form
+        if not node.is_leaf:
+            nodes.extend(node.children)
+        i += 1
+
+    n = len(nodes)
+    packed.leaf = np.empty(n, dtype=bool)
+    packed.child_beg = np.zeros(n, dtype=np.intp)
+    packed.child_end = np.zeros(n, dtype=np.intp)
+    packed.entry_beg = np.zeros(n, dtype=np.intp)
+    packed.entry_end = np.zeros(n, dtype=np.intp)
+    entry_blocks: list = []
+    total_entries = 0
+    child_cursor = 1  # node 0 is the root; its children start at id 1
+    for nid, node in enumerate(nodes):
+        is_leaf = node.is_leaf
+        packed.leaf[nid] = is_leaf
+        if is_leaf:
+            packed.entry_beg[nid] = total_entries
+            total_entries += len(node.entry_ids)
+            packed.entry_end[nid] = total_entries
+            entry_blocks.append(node.entry_ids)
+        else:
+            packed.child_beg[nid] = child_cursor
+            child_cursor += len(node.children)
+            packed.child_end[nid] = child_cursor
+    packed.entries = (
+        np.concatenate([np.asarray(b, dtype=np.intp) for b in entry_blocks])
+        if entry_blocks
+        else np.empty(0, dtype=np.intp)
+    )
+
+    if kind == "rect":
+        packed.lo, packed.hi = MBR.stack(node.mbr for node in nodes)
+        packed.diam = kernels.diagonal(packed.lo, packed.hi, index.metric)
+    else:
+        packed.centers = np.empty((n, dim), dtype=float)
+        packed.radii = np.empty(n, dtype=float)
+        for nid, node in enumerate(nodes):
+            packed.centers[nid] = node.center
+            packed.radii[nid] = node.radius
+        packed.diam = kernels.ball_diameter(packed.radii)
+    return packed

@@ -53,6 +53,7 @@ def parallel_join(
     task_timeout: Optional[float] = None,
     config: Optional[SupervisorConfig] = None,
     fault: Optional[FlakyWorker] = None,
+    engine: str = "vectorized",
 ) -> JoinResult:
     """Run a similarity self-join across a supervised worker pool.
 
@@ -80,6 +81,7 @@ def parallel_join(
         bulk=bulk,
         metric=metric,
         partitions_per_axis=partitions_per_axis,
+        engine=engine,
     )
     state = spec.build_state()
     if sink is None:

@@ -72,10 +72,14 @@ class JoinSpec:
     bulk: Optional[str] = "str"
     metric: object = None
     partitions_per_axis: Optional[int] = None
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
+        from repro.core.frontier import resolve_engine  # deferred: heavy import
+
         self.points = validate_points(self.points)
         self.eps = validate_eps(self.eps)
+        self.engine = resolve_engine(self.engine)
         self.algorithm = str(self.algorithm).lower()
         if self.algorithm not in FAMILIES:
             raise InvalidInputError(
@@ -142,7 +146,15 @@ class TaskState:
                 max_entries=spec.max_entries,
                 bulk=spec.bulk,
             )
-            self.tasks = _enumerate_tree_tasks(self.tree, self.eps, self.compact)
+            self.tasks = None
+            if spec.engine == "vectorized":
+                from repro.core.frontier import enumerate_tree_tasks_packed
+
+                self.tasks = enumerate_tree_tasks_packed(
+                    self.tree, self.eps, self.compact
+                )
+            if self.tasks is None:
+                self.tasks = _enumerate_tree_tasks(self.tree, self.eps, self.compact)
             self.index_name = type(self.tree).name
         elif self.family == "egrid":
             from repro.resilience.checkpoint import _enumerate_egrid_tasks

@@ -275,6 +275,7 @@ class CheckpointedJoin:
         fault: object = None,
         supervisor_config: object = None,
         stats: Optional[JoinStats] = None,
+        engine: str = "vectorized",
     ):
         self.points = validate_points(points)
         self.eps = validate_eps(eps)
@@ -303,11 +304,15 @@ class CheckpointedJoin:
         if workers is not None and workers < 0:
             raise InvalidInputError(f"workers must be >= 0, got {workers}")
         # Execution-only knobs: deliberately absent from the fingerprint,
-        # so a run checkpointed at one worker count resumes at any other.
+        # so a run checkpointed at one worker count (or engine) resumes
+        # at any other.
         self.workers = workers
         self.task_timeout = task_timeout
         self.fault = fault
         self.supervisor_config = supervisor_config
+        from repro.core.frontier import resolve_engine
+
+        self.engine = resolve_engine(engine)
         # Externally supplied stats are *observed* (progress heartbeats,
         # metrics) — the run still owns all mutation; pass a fresh one.
         self.stats = stats
@@ -413,6 +418,7 @@ class CheckpointedJoin:
             bulk=self.bulk,
             metric=self.metric,
             partitions_per_axis=self.partitions_per_axis,
+            engine=self.engine,
         )
         state = spec.build_state()
         tasks = state.tasks

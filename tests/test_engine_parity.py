@@ -1,0 +1,173 @@
+"""Scalar vs. vectorized engine: byte-identical output, identical counters.
+
+The vectorized frontier engine is only admissible because it is
+*observationally identical* to the recursive scalar engine: same links,
+same groups, in the same order, with the same ``JoinStats`` counters —
+at any worker count, and across a kill-and-resume boundary even when the
+resuming process picks the other engine.  This suite is that contract's
+regression harness, on the paper's two workload shapes (the Figure 5
+real-data distribution and the Figure 7 fractal used for scalability).
+"""
+
+import filecmp
+
+import numpy as np
+import pytest
+
+from repro.api import similarity_join, spatial_join_datasets
+from repro.core.frontier import enumerate_tree_tasks_packed, resolve_engine
+from repro.core.verify import cross_check_engines
+from repro.datasets import load_dataset
+from repro.index.packed import pack_index
+from repro.resilience.chaos import FailurePlan, FlakySink
+from repro.resilience.checkpoint import CheckpointedJoin, _enumerate_tree_tasks
+
+# Small cuts of the paper's workloads: fig5's real-data distribution and
+# fig7's fractal. Sizes keep the full matrix under a few seconds.
+WORKLOADS = {
+    "fig5": (load_dataset("mg_county", 300, seed=0), 0.05),
+    "fig7": (load_dataset("sierpinski3d", 400, seed=0), 0.125),
+}
+TREE_ALGORITHMS = ["ssj", "ncsj", "csj"]
+
+
+def _payload(result):
+    return (result.links, result.groups, result.group_pairs)
+
+
+def _int_counters(result):
+    return {
+        k: v for k, v in result.stats.as_dict().items() if isinstance(v, int)
+    }
+
+
+def _assert_identical(a, b, context=""):
+    assert _payload(a) == _payload(b), f"payload diverged: {context}"
+    assert _int_counters(a) == _int_counters(b), f"counters diverged: {context}"
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("algorithm", TREE_ALGORITHMS + ["egrid"])
+def test_serial_engines_identical(workload, algorithm):
+    pts, eps = WORKLOADS[workload]
+    scalar = similarity_join(pts, eps, algorithm=algorithm, engine="scalar")
+    vec = similarity_join(pts, eps, algorithm=algorithm, engine="vectorized")
+    _assert_identical(scalar, vec, f"{algorithm} on {workload}")
+
+
+@pytest.mark.parametrize("index", ["rtree", "mtree"])
+def test_serial_engines_identical_other_indexes(index):
+    pts, eps = WORKLOADS["fig5"]
+    bulk = "str" if index == "rtree" else None
+    for algorithm in TREE_ALGORITHMS:
+        scalar = similarity_join(
+            pts, eps, algorithm=algorithm, index=index, bulk=bulk,
+            max_entries=8, engine="scalar",
+        )
+        vec = similarity_join(
+            pts, eps, algorithm=algorithm, index=index, bulk=bulk,
+            max_entries=8, engine="vectorized",
+        )
+        _assert_identical(scalar, vec, f"{algorithm} on {index}")
+
+
+@pytest.mark.parametrize("compact", [False, True])
+def test_dual_tree_engines_identical(compact):
+    pts_a, eps = WORKLOADS["fig7"]
+    pts_b = load_dataset("sierpinski3d", 350, seed=1)
+    scalar = spatial_join_datasets(
+        pts_a, pts_b, eps, compact=compact, engine="scalar"
+    )
+    vec = spatial_join_datasets(
+        pts_a, pts_b, eps, compact=compact, engine="vectorized"
+    )
+    _assert_identical(scalar, vec, f"dual compact={compact}")
+
+
+@pytest.mark.parametrize("algorithm", ["ssj", "csj"])
+def test_workers_two_engines_identical(algorithm):
+    pts, eps = WORKLOADS["fig5"]
+    serial = similarity_join(pts, eps, algorithm=algorithm, engine="vectorized")
+    for engine in ("scalar", "vectorized"):
+        pooled = similarity_join(
+            pts, eps, algorithm=algorithm, workers=2, engine=engine
+        )
+        assert _payload(pooled) == _payload(serial), engine
+
+
+@pytest.mark.parametrize("compact", [False, True])
+def test_packed_task_enumeration_matches_recursive(compact):
+    from repro.api import build_index
+
+    for workload in sorted(WORKLOADS):
+        pts, eps = WORKLOADS[workload]
+        for index, bulk in (("rstar", "str"), ("rtree", None), ("mtree", None)):
+            tree = build_index(pts, index, max_entries=8, bulk=bulk)
+            packed = enumerate_tree_tasks_packed(tree, eps, compact)
+            assert packed is not None
+            assert packed == _enumerate_tree_tasks(tree, eps, compact)
+
+
+def test_kill_and_resume_across_engines(tmp_path):
+    """A run started vectorized and resumed scalar (and vice versa) is
+    byte-identical to an uninterrupted run on either engine."""
+    pts, eps = WORKLOADS["fig5"]
+    baseline = tmp_path / "baseline.txt"
+    CheckpointedJoin(pts, eps, str(baseline), algorithm="csj", cadence=9,
+                     engine="scalar").run()
+
+    for first, second in (("vectorized", "scalar"), ("scalar", "vectorized")):
+        out = tmp_path / f"{first}-{second}.txt"
+        wrapper = lambda inner: FlakySink(
+            inner, FailurePlan(seed=5, rate=0.0, fail_at=[40])
+        )
+        with pytest.raises(OSError):
+            CheckpointedJoin(pts, eps, str(out), algorithm="csj", cadence=9,
+                             sink_wrapper=wrapper, engine=first).run()
+        CheckpointedJoin(pts, eps, str(out), algorithm="csj", cadence=9,
+                         engine=second).run(resume=True)
+        assert filecmp.cmp(str(baseline), str(out), shallow=False), (
+            f"{first} -> {second} resume diverged"
+        )
+
+
+def test_cross_check_engines_agrees_and_guards_kwargs():
+    pts, eps = WORKLOADS["fig7"]
+    result = cross_check_engines(pts, eps, algorithm="csj", g=10)
+    direct = similarity_join(pts, eps, algorithm="csj", g=10)
+    _assert_identical(result, direct, "cross_check vs direct")
+    with pytest.raises(ValueError):
+        cross_check_engines(pts, eps, engine="scalar")
+
+
+def test_object_metric_falls_back_to_scalar():
+    """A non-vectorizable metric must quietly take the scalar path —
+    same results, no crash — because pack_index declines it."""
+    from repro.api import build_index
+    from repro.core.metricspace import ObjectMetric
+
+    rng = np.random.default_rng(2)
+    pts = rng.random((80, 2))
+    metric = ObjectMetric(
+        pts,
+        lambda a, b: float(np.abs(np.asarray(a) - np.asarray(b)).sum()),
+        name="obj-l1",
+    )
+    tree = build_index(pts, "mtree", metric=metric, max_entries=8, bulk=None)
+    assert pack_index(tree) is None
+    scalar = similarity_join(
+        pts, 0.05, algorithm="csj", index="mtree", bulk=None,
+        metric=metric, engine="scalar",
+    )
+    vec = similarity_join(
+        pts, 0.05, algorithm="csj", index="mtree", bulk=None,
+        metric=metric, engine="vectorized",
+    )
+    _assert_identical(scalar, vec, "object metric fallback")
+
+
+def test_resolve_engine_validates():
+    assert resolve_engine(None) == "vectorized"
+    assert resolve_engine("Scalar") == "scalar"
+    with pytest.raises(ValueError):
+        resolve_engine("turbo")
