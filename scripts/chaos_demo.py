@@ -19,14 +19,22 @@ Three scenarios, selected with ``--scenario``:
     once), then resumed with a *different* worker count — and the
     recovered file is byte-identical to the uninterrupted reference.
 
+``disk``
+    The disk fills mid-join (an injected ``ENOSPC`` at the sink).  The
+    retry wrapper classifies the errno and fails *fast* with
+    :class:`~repro.errors.DiskFullError` (exit code 8) instead of
+    burning its retry budget on an unfixable error — leaving the
+    checkpoint journal resumable.  "Space is freed", the run resumes,
+    and the output is byte-identical.
+
 Every scenario ends with the same verification pass: byte-identical
 output and an expanded link set equal to the brute-force join
 (Theorems 1 and 2 across a crash).
 
 Usage::
 
-    PYTHONPATH=src python scripts/chaos_demo.py [--scenario sink|worker|pool]
-                                                [--seed 7] [--n 2000]
+    PYTHONPATH=src python scripts/chaos_demo.py
+        [--scenario sink|worker|pool|disk] [--seed 7] [--n 2000]
 """
 
 import argparse
@@ -146,10 +154,43 @@ def _scenario_pool(args, pts, reference, recovered):
     return _verify(pts, args.eps, reference, recovered, result)
 
 
+def _scenario_disk(args, pts, reference, recovered):
+    """ENOSPC mid-join: fail fast with exit code 8, resume after 'cleanup'."""
+    import errno
+
+    from repro.errors import DiskFullError
+    from repro.resilience.sinks import RetryingSink
+
+    plan = FailurePlan(
+        seed=args.seed, fail_at=(40,), errno=errno.ENOSPC, max_failures=1
+    )
+
+    def wrapper(inner):
+        return RetryingSink(
+            FlakySink(inner, plan), max_retries=4, sleep=lambda _s: None
+        )
+
+    job_kwargs = dict(algorithm="csj", g=10, cadence=16, sink_wrapper=wrapper)
+    try:
+        CheckpointedJoin(pts, args.eps, recovered, **job_kwargs).run()
+        print("chaos run      : FAILED (the injected ENOSPC never fired)")
+        return 1
+    except DiskFullError as exc:
+        print(f"disk full      : {exc}")
+        print(f"exit code      : {exc.exit_code} (typed; errno="
+              f"{errno.errorcode.get(exc.errno, exc.errno)}; "
+              "0 retries burned)")
+    print("cleanup        : space freed; resuming from the journal")
+    result = CheckpointedJoin(pts, args.eps, recovered, **job_kwargs).run(
+        resume=True
+    )
+    return _verify(pts, args.eps, reference, recovered, result)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", default="sink",
-                        choices=["sink", "worker", "pool"],
+                        choices=["sink", "worker", "pool", "disk"],
                         help="which failure mode to inject")
     parser.add_argument("--seed", type=int, default=7, help="chaos seed")
     parser.add_argument("--n", type=int, default=2000, help="points")
@@ -171,6 +212,7 @@ def main() -> int:
         "sink": _scenario_sink,
         "worker": _scenario_worker,
         "pool": _scenario_pool,
+        "disk": _scenario_disk,
     }[args.scenario]
     return runner(args, pts, reference, recovered)
 

@@ -521,8 +521,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Failures map to distinct nonzero exit codes (see
     :mod:`repro.errors`): invalid input 2, budget exceeded 3, sink I/O 4,
     corrupt checkpoint/index file 5, poison task 6, worker pool failure 7,
-    any other error 1 — with a one-line message on stderr instead of a
-    traceback.
+    disk full / read-only storage 8, any other error 1 — with a one-line
+    message on stderr instead of a traceback.
     """
     from repro.errors import ReproError
 
@@ -540,8 +540,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"csj: error: {exc}", file=sys.stderr)
         return exc.exit_code
     except OSError as exc:
+        from repro.errors import DiskFullError, is_disk_full
+
         print(f"csj: error: {exc}", file=sys.stderr)
-        return 1
+        # A raw ENOSPC/EROFS that reached the CLI uncaught still maps to
+        # the typed disk-full exit code, not the generic 1.
+        return DiskFullError.exit_code if is_disk_full(exc) else 1
 
 
 if __name__ == "__main__":

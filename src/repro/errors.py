@@ -16,6 +16,7 @@ API boundary — the tree and grid internals may assume clean input.
 
 from __future__ import annotations
 
+import errno as _errno
 import math
 from typing import Optional
 
@@ -26,9 +27,13 @@ __all__ = [
     "InvalidInputError",
     "BudgetExceededError",
     "SinkIOError",
+    "DiskFullError",
     "CheckpointCorruptError",
     "PoisonTaskError",
     "WorkerPoolError",
+    "FATAL_STORAGE_ERRNOS",
+    "errno_name",
+    "is_disk_full",
     "validate_points",
     "validate_eps",
 ]
@@ -81,6 +86,55 @@ class SinkIOError(ReproError, OSError):
     """Writing join output failed and retries (if any) were exhausted."""
 
     exit_code = 4
+
+
+#: Errnos no retry can fix: the storage itself is out of space or
+#: read-only.  Retrying burns the backoff budget for nothing; callers
+#: fail fast with :class:`DiskFullError` instead.
+FATAL_STORAGE_ERRNOS = frozenset(
+    code
+    for code in (
+        _errno.ENOSPC,
+        _errno.EROFS,
+        getattr(_errno, "EDQUOT", None),
+    )
+    if code is not None
+)
+
+
+def errno_name(code: Optional[int]) -> str:
+    """The symbolic name of an errno (``"enospc"``), or ``"unknown"``."""
+    if code is None:
+        return "unknown"
+    return _errno.errorcode.get(int(code), f"errno_{int(code)}").lower()
+
+
+def is_disk_full(exc: BaseException) -> bool:
+    """Whether an ``OSError`` signals exhausted/read-only storage."""
+    return (
+        isinstance(exc, OSError)
+        and getattr(exc, "errno", None) in FATAL_STORAGE_ERRNOS
+    )
+
+
+class DiskFullError(SinkIOError):
+    """Durable storage is exhausted (``ENOSPC``/``EDQUOT``) or read-only.
+
+    Raised *without* burning the retry budget — no backoff schedule fixes
+    a full disk.  A checkpointed run that hits it leaves the journal and
+    the output's durable prefix intact, so after space is freed the run
+    resumes from the last checkpoint.  As a :class:`SinkIOError`
+    subclass it stays catchable by existing ``SinkIOError`` handlers
+    while mapping to its own CLI exit code.
+    """
+
+    exit_code = 8
+
+    @classmethod
+    def wrap(cls, exc: OSError, context: str) -> "DiskFullError":
+        wrapped = cls(f"{context}: {exc}")
+        wrapped.errno = getattr(exc, "errno", None)
+        return wrapped
 
 
 class CheckpointCorruptError(ReproError):

@@ -16,6 +16,7 @@ carry a Python callable and must be rebuilt instead.
 
 from __future__ import annotations
 
+import os
 import zipfile
 from typing import Union
 
@@ -28,6 +29,7 @@ from repro.index.base import SpatialIndex
 from repro.index.mtree import BallNode, MTree
 from repro.index.rstar import RStarTree
 from repro.index.rtree import RectNode, RTree
+from repro.io.durable import best_effort_fsync_dir, get_fs
 
 __all__ = ["save_index", "load_index"]
 
@@ -42,7 +44,20 @@ _REQUIRED_KEYS = (
 
 
 def save_index(tree: SpatialIndex, path: str) -> None:
-    """Serialise ``tree`` to ``path`` (a ``.npz`` file).
+    """Serialise ``tree`` to ``path`` (a ``.npz`` file), atomically.
+
+    The arrays are written to a sibling temp file, fsynced, moved into
+    place with ``os.replace`` and made durable with a parent-directory
+    fsync — a crash at any point leaves ``path`` either holding the
+    previous intact index or the complete new one, never a torn prefix
+    (historically a crash mid-save truncated a previously good file).
+    All operations go through the durable-I/O seam
+    (:mod:`repro.io.durable`), so the crash-state explorer verifies this
+    contract against every enumerated post-crash disk state.
+
+    Unlike ``np.savez``, the file keeps the exact name given — no
+    ``.npz`` suffix is appended — so ``load_index(path)`` always reads
+    back what ``save_index(tree, path)`` wrote.
 
     >>> import numpy as np, tempfile, os
     >>> from repro.index.bulk import bulk_load
@@ -89,23 +104,30 @@ def save_index(tree: SpatialIndex, path: str) -> None:
     if tree.root is not None:
         walk(tree.root, -1)
 
-    np.savez_compressed(
-        path,
-        kind=np.array(kind),
-        metric=np.array(metric_name),
-        max_entries=np.array(tree.max_entries),
-        min_entries=np.array(tree.min_entries),
-        points=tree.points,
-        deleted=np.array(sorted(tree._deleted), dtype=np.int64),
-        levels=np.array(levels, dtype=np.int64),
-        parents=np.array(parents, dtype=np.int64),
-        entry_offsets=np.array(entry_offsets, dtype=np.int64),
-        entries=np.array(entries, dtype=np.int64),
-        rect_lo=np.array(rect_lo) if rect_lo else np.empty((0, 0)),
-        rect_hi=np.array(rect_hi) if rect_hi else np.empty((0, 0)),
-        routers=np.array(routers, dtype=np.int64),
-        radii=np.array(radii, dtype=float),
-    )
+    fs = get_fs()
+    path = os.fspath(path)
+    tmp_path = path + ".tmp"
+    with fs.open(tmp_path, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            kind=np.array(kind),
+            metric=np.array(metric_name),
+            max_entries=np.array(tree.max_entries),
+            min_entries=np.array(tree.min_entries),
+            points=tree.points,
+            deleted=np.array(sorted(tree._deleted), dtype=np.int64),
+            levels=np.array(levels, dtype=np.int64),
+            parents=np.array(parents, dtype=np.int64),
+            entry_offsets=np.array(entry_offsets, dtype=np.int64),
+            entries=np.array(entries, dtype=np.int64),
+            rect_lo=np.array(rect_lo) if rect_lo else np.empty((0, 0)),
+            rect_hi=np.array(rect_hi) if rect_hi else np.empty((0, 0)),
+            routers=np.array(routers, dtype=np.int64),
+            radii=np.array(radii, dtype=float),
+        )
+        fs.fsync(handle)
+    fs.replace(tmp_path, path)
+    best_effort_fsync_dir(os.path.dirname(os.path.abspath(path)), fs)
 
 
 def _check_structure(
@@ -166,8 +188,9 @@ def load_index(path: str) -> SpatialIndex:
     ``ValueError``.
     """
     try:
-        with np.load(path, allow_pickle=False) as data:
-            payload = {key: data[key] for key in _REQUIRED_KEYS}
+        with get_fs().open(path, "rb") as handle:
+            with np.load(handle, allow_pickle=False) as data:
+                payload = {key: data[key] for key in _REQUIRED_KEYS}
     except FileNotFoundError:
         raise
     except (zipfile.BadZipFile, KeyError, ValueError, EOFError, OSError) as exc:

@@ -1,13 +1,37 @@
-"""Output writing and simulated disk I/O.
+"""Output writing, durable-operation seam, and simulated disk I/O.
 
 The paper measures output size as "the size in bytes of the resulting
 output text file", with every point id zero-padded to a fixed width
 (Section VI).  :mod:`repro.io.writer` reproduces that format exactly;
 :mod:`repro.io.pagesim` provides the page/cache access accounting used in
-Experiment 3.
+Experiment 3; :mod:`repro.io.durable` is the single seam every durable
+file operation (open/fsync/rename/parent-dir fsync) goes through, which
+the crash-consistency harness interposes on.
 """
 
+from repro.io.durable import (
+    FileSystem,
+    OsFileSystem,
+    SandboxFS,
+    best_effort_fsync_dir,
+    get_fs,
+    scoped_fs,
+    set_fs,
+)
 from repro.io.pagesim import PageCache, PagedFile
 from repro.io.writer import FixedWidthWriter, line_bytes, read_output
 
-__all__ = ["FixedWidthWriter", "read_output", "line_bytes", "PagedFile", "PageCache"]
+__all__ = [
+    "FileSystem",
+    "FixedWidthWriter",
+    "OsFileSystem",
+    "PageCache",
+    "PagedFile",
+    "SandboxFS",
+    "best_effort_fsync_dir",
+    "get_fs",
+    "line_bytes",
+    "read_output",
+    "scoped_fs",
+    "set_fs",
+]

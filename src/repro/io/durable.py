@@ -1,0 +1,254 @@
+"""The single seam for durable file operations.
+
+Every component with a durability contract — :class:`DurableTextSink`'s
+append-and-fsync output, :class:`AtomicTextSink`'s write → fsync →
+rename publication, the checkpoint journal, and the index persistence
+layer — performs its file operations through a :class:`FileSystem`
+object obtained from :func:`get_fs` instead of calling ``open`` /
+``os.fsync`` / ``os.replace`` directly.  In production the active
+filesystem is :class:`OsFileSystem`, a transparent passthrough.  The
+crash-consistency harness installs an interposer
+(:class:`~repro.resilience.vfs.TraceFS`) for the duration of a run with
+:func:`scoped_fs`, which records the full write-op trace and can inject
+disk faults — without the production code knowing or changing.
+
+The operations the seam exposes are exactly the vocabulary of
+crash-consistent storage:
+
+``open``            create/truncate/append/read a file (an *op* when it truncates)
+``fsync``           force a handle's written bytes to stable storage
+``fsync_dir``       force directory entries (renames, creations) to stable storage
+``replace``         atomically rename over a destination
+``truncate``        cut a file to a byte length
+``unlink``          remove a file
+``exists``/``getsize``  metadata reads (never ops)
+
+:class:`SandboxFS` remaps every path under a root directory — the
+reconstruction target the crash-state explorer replays post-crash disk
+images into before running recovery against them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import IO, Iterator, Optional, Union
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "FileSystem",
+    "OsFileSystem",
+    "SandboxFS",
+    "best_effort_fsync_dir",
+    "get_fs",
+    "scoped_fs",
+    "set_fs",
+]
+
+logger = get_logger("io.durable")
+
+
+class FileSystem:
+    """Abstract durable-operation seam; see the module docstring.
+
+    Subclasses override any subset; the base class defines the contract
+    only.  All paths are plain ``str``/``os.PathLike``.
+    """
+
+    def open(
+        self, path: str, mode: str = "r", encoding: Optional[str] = None
+    ) -> IO:
+        raise NotImplementedError
+
+    def fsync(self, handle: IO) -> None:
+        """Flush ``handle`` and force its bytes to stable storage.
+
+        Handles without a real file descriptor (``StringIO``) flush
+        only — in-memory targets have no durability to enforce.
+        """
+        raise NotImplementedError
+
+    def fsync_dir(self, path: str) -> None:
+        """Fsync the directory ``path`` so entries (renames) survive a crash."""
+        raise NotImplementedError
+
+    def replace(self, src: str, dst: str) -> None:
+        raise NotImplementedError
+
+    def truncate(self, path: str, size: int) -> None:
+        raise NotImplementedError
+
+    def unlink(self, path: str) -> None:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def getsize(self, path: str) -> int:
+        raise NotImplementedError
+
+
+class OsFileSystem(FileSystem):
+    """The production filesystem: a transparent passthrough to ``os``."""
+
+    def open(
+        self, path: str, mode: str = "r", encoding: Optional[str] = None
+    ) -> IO:
+        return open(path, mode, encoding=encoding)
+
+    def fsync(self, handle: IO) -> None:
+        handle.flush()
+        try:
+            fd = handle.fileno()
+        except (AttributeError, OSError, ValueError):
+            return
+        os.fsync(fd)
+
+    def fsync_dir(self, path: str) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def truncate(self, path: str, size: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def getsize(self, path: str) -> int:
+        return os.path.getsize(path)
+
+
+class SandboxFS(OsFileSystem):
+    """Remaps every path under ``root`` before delegating to the OS.
+
+    ``/tmp/run/out.txt`` becomes ``<root>/tmp/run/out.txt``; parent
+    directories are created on demand for writes.  The crash-state
+    explorer materialises each reconstructed disk image into a fresh
+    sandbox and runs recovery inside it, so states never clobber each
+    other or the original files.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(os.fspath(root))
+
+    def map(self, path: str) -> str:
+        """The real path a logical ``path`` lands on inside the sandbox."""
+        absolute = os.path.abspath(os.fspath(path))
+        relative = absolute.lstrip(os.sep)
+        if os.altsep:
+            relative = relative.lstrip(os.altsep)
+        return os.path.join(self.root, relative)
+
+    def _map_for_write(self, path: str) -> str:
+        real = self.map(path)
+        os.makedirs(os.path.dirname(real), exist_ok=True)
+        return real
+
+    def open(
+        self, path: str, mode: str = "r", encoding: Optional[str] = None
+    ) -> IO:
+        if "r" in mode and "+" not in mode:
+            return open(self.map(path), mode, encoding=encoding)
+        return open(self._map_for_write(path), mode, encoding=encoding)
+
+    def fsync_dir(self, path: str) -> None:
+        real = self.map(path)
+        os.makedirs(real, exist_ok=True)
+        super().fsync_dir(real)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(self.map(src), self._map_for_write(dst))
+
+    def truncate(self, path: str, size: int) -> None:
+        super().truncate(self.map(path), size)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(self.map(path))
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(self.map(path))
+
+    def getsize(self, path: str) -> int:
+        return os.path.getsize(self.map(path))
+
+
+_active: FileSystem = OsFileSystem()
+
+
+def get_fs() -> FileSystem:
+    """The currently active filesystem (the OS passthrough by default)."""
+    return _active
+
+
+def set_fs(fs: Optional[FileSystem]) -> FileSystem:
+    """Install ``fs`` as the active filesystem; returns the previous one.
+
+    Passing ``None`` restores the OS passthrough.  Prefer
+    :func:`scoped_fs` — it cannot leak an interposer past its block.
+    """
+    global _active
+    previous = _active
+    _active = fs if fs is not None else OsFileSystem()
+    return previous
+
+
+@contextlib.contextmanager
+def scoped_fs(fs: FileSystem) -> Iterator[FileSystem]:
+    """Install ``fs`` for the duration of a ``with`` block.
+
+    >>> import tempfile, os
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     with scoped_fs(SandboxFS(os.path.join(d, "sandbox"))) as sandbox:
+    ...         with get_fs().open(os.path.join(d, "x.txt"), "w") as f:
+    ...             _ = f.write("hi")
+    ...         inside = get_fs().exists(os.path.join(d, "x.txt"))
+    ...     outside = os.path.exists(os.path.join(d, "x.txt"))
+    >>> (inside, outside)
+    (True, False)
+    """
+    previous = set_fs(fs)
+    try:
+        yield fs
+    finally:
+        set_fs(previous)
+
+
+def best_effort_fsync_dir(path: str, fs: Optional[FileSystem] = None) -> bool:
+    """Fsync a directory, downgrading failure to a *visible* warning.
+
+    Parent-directory fsync makes renames and creations durable, but some
+    platforms cannot open directories at all.  Historically the failure
+    was swallowed silently; now every downgrade is logged through
+    ``repro.obs`` with the path and error, and counted in
+    ``repro_fsync_dir_failures_total``, so a deployment quietly running
+    without rename durability shows up in its logs and metrics.
+
+    Returns ``True`` when the fsync succeeded.
+    """
+    fs = fs if fs is not None else get_fs()
+    try:
+        fs.fsync_dir(path)
+    except OSError as exc:
+        get_registry().counter(
+            "repro_fsync_dir_failures_total",
+            "Best-effort parent-directory fsyncs that failed",
+        ).inc()
+        logger.warning(
+            "parent-directory fsync failed; rename durability downgraded "
+            "to best effort",
+            extra={"dir": str(path), "error": f"{type(exc).__name__}: {exc}"},
+        )
+        return False
+    return True

@@ -42,6 +42,13 @@ class FixedWidthWriter:
     Accepts a path or an open text file.  Tracks the exact number of bytes
     written, which equals the file size for a path target.
 
+    Path targets are opened — and fsynced — through the durable-I/O seam
+    (:func:`repro.io.durable.get_fs`), so the crash-consistency harness
+    can interpose on every write the output path sees.  The filesystem is
+    captured at construction; it is exposed as :attr:`fs` for wrappers
+    (the atomic sink) that perform follow-up operations on the same
+    target.
+
     >>> import io
     >>> buf = io.StringIO()
     >>> w = FixedWidthWriter(buf, width=4)
@@ -53,15 +60,18 @@ class FixedWidthWriter:
     """
 
     def __init__(self, target: Union[str, TextIO], width: int = 8, mode: str = "w"):
+        from repro.io.durable import get_fs
+
         if width < 1:
             raise ValueError(f"width must be positive, got {width}")
         if mode not in ("w", "a"):
             raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self.width = width
         self.bytes_written = 0
+        self.fs = get_fs()
         if isinstance(target, (str, bytes)):
             self.path: Union[str, None] = os.fsdecode(target)
-            self._file: TextIO = open(target, mode, encoding="ascii")
+            self._file: TextIO = self.fs.open(self.path, mode, encoding="ascii")
             self._owns_file = True
         else:
             self.path = None
@@ -107,12 +117,7 @@ class FixedWidthWriter:
         In-memory targets (``StringIO``) flush only; the fsync is skipped
         where the target has no file descriptor.
         """
-        self._file.flush()
-        try:
-            fd = self._file.fileno()
-        except (AttributeError, OSError, ValueError):
-            return
-        os.fsync(fd)
+        self.fs.fsync(self._file)
 
     def tell(self) -> int:
         """Current byte offset in the underlying file (after a flush)."""

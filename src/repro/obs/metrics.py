@@ -239,13 +239,24 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """The snapshot in the Prometheus text exposition format."""
+        """The snapshot in the Prometheus text exposition format.
+
+        Labelled metrics (registered under names like
+        ``repro_sink_errno_total{errno="enospc"}``) share one metric
+        family: ``HELP``/``TYPE`` are emitted once per base name, and
+        each labelled sample on its own line — exactly how a Prometheus
+        scraper expects label sets of the same family to arrive.
+        """
         lines: list[str] = []
+        described: set[str] = set()
         for name in sorted(self._metrics):
             metric = self._metrics[name]
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} {metric.kind}")
+            base = name.split("{", 1)[0]
+            if base not in described:
+                described.add(base)
+                if metric.help:
+                    lines.append(f"# HELP {base} {metric.help}")
+                lines.append(f"# TYPE {base} {metric.kind}")
             if isinstance(metric, Histogram):
                 for le, n in metric.cumulative():
                     label = "+Inf" if math.isinf(le) else repr(le)

@@ -16,23 +16,47 @@ VI).  This package turns that ad-hoc fallback into first-class machinery:
   run without losing or duplicating a single link;
 * :mod:`repro.resilience.chaos` — deterministic fault injection
   (:class:`FlakySink`, :class:`FlakyIndex`, :class:`FlakyWorker`) so
-  tests can prove recovery end-to-end instead of hoping.
+  tests can prove recovery end-to-end instead of hoping;
+* :mod:`repro.resilience.vfs` — :class:`TraceFS`, an interposing
+  filesystem recording the full durable-operation trace (writes,
+  fsyncs, renames) and injecting disk faults (``ENOSPC``, torn writes)
+  at the syscall boundary;
+* :mod:`repro.resilience.crashsim` — the crash-state explorer: from a
+  recorded trace, reconstruct *every* legal post-crash disk state and
+  verify recovery is byte-identical on each one.
 """
 
 from repro.resilience.budget import Budget
 from repro.resilience.chaos import FailurePlan, FlakyIndex, FlakySink, FlakyWorker
 from repro.resilience.checkpoint import CheckpointedJoin, read_journal
+from repro.resilience.crashsim import (
+    CrashReport,
+    CrashState,
+    enumerate_crash_states,
+    verify_atomic_sink,
+    verify_checkpointed_join,
+    verify_index_save,
+)
 from repro.resilience.sinks import AtomicTextSink, DurableTextSink, RetryingSink
+from repro.resilience.vfs import Op, TraceFS
 
 __all__ = [
     "AtomicTextSink",
     "Budget",
     "CheckpointedJoin",
+    "CrashReport",
+    "CrashState",
     "DurableTextSink",
     "FailurePlan",
     "FlakyIndex",
     "FlakySink",
     "FlakyWorker",
+    "Op",
     "RetryingSink",
+    "TraceFS",
+    "enumerate_crash_states",
     "read_journal",
+    "verify_atomic_sink",
+    "verify_checkpointed_join",
+    "verify_index_save",
 ]

@@ -43,6 +43,13 @@ class FailurePlan:
     ``max_failures`` failures are injected (unlimited when ``None``);
     afterwards the plan is exhausted and everything succeeds, which lets
     a retry loop demonstrably recover.
+
+    ``errno`` puts a specific error number on every injected ``OSError``
+    (e.g. ``errno.ENOSPC`` for a full disk), so wrappers that *classify*
+    errnos — retry transient ones, fail fast on fatal ones — can be
+    driven down either path deterministically.  ``None`` (the default)
+    raises the historical errno-less ``OSError``, which classifiers must
+    treat as transient.
     """
 
     def __init__(
@@ -51,6 +58,7 @@ class FailurePlan:
         rate: float = 0.0,
         fail_at: Iterable[int] = (),
         max_failures: Optional[int] = None,
+        errno: Optional[int] = None,
     ):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
@@ -58,6 +66,7 @@ class FailurePlan:
         self.rate = rate
         self.fail_at = frozenset(int(i) for i in fail_at)
         self.max_failures = max_failures
+        self.errno = errno
         #: Operations observed and failures injected so far.
         self.ops = 0
         self.failures = 0
@@ -73,7 +82,10 @@ class FailurePlan:
             return
         if op in self.fail_at or roll < self.rate:
             self.failures += 1
-            raise OSError(f"injected {what} failure (op {op}, seed plan)")
+            message = f"injected {what} failure (op {op}, seed plan)"
+            if self.errno is not None:
+                raise OSError(self.errno, message)
+            raise OSError(message)
 
 
 class FlakyWorker:

@@ -45,12 +45,15 @@ from repro.core.results import JoinResult
 from repro.errors import (
     BudgetExceededError,
     CheckpointCorruptError,
+    DiskFullError,
     InvalidInputError,
     PoisonTaskError,
+    is_disk_full,
     validate_eps,
     validate_points,
 )
 from repro.geometry.metrics import get_metric
+from repro.io.durable import get_fs
 from repro.io.writer import width_for
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -102,13 +105,16 @@ def read_journal(path: str) -> tuple[dict, Optional[dict]]:
     missing/invalid header raises
     :class:`~repro.errors.CheckpointCorruptError`.
     """
-    if not os.path.exists(path):
+    fs = get_fs()
+    if not fs.exists(path):
         raise CheckpointCorruptError(path, "journal not found (nothing to resume)")
     header: Optional[dict] = None
     last: Optional[dict] = None
-    with open(path, "r", encoding="ascii", errors="replace") as handle:
-        for lineno, line in enumerate(handle):
-            record = _decode_record(line)
+    # Binary read + lossy decode: garbled bytes must fail a record's CRC,
+    # never escape as a UnicodeDecodeError.
+    with fs.open(path, "rb") as handle:
+        for lineno, raw in enumerate(handle):
+            record = _decode_record(raw.decode("ascii", "replace"))
             if record is None:
                 if lineno == 0:
                     raise CheckpointCorruptError(path, "journal header is corrupt")
@@ -379,7 +385,7 @@ class CheckpointedJoin:
                         setattr(stats, f.name, saved[f.name])
                 window_state = ckpt.get("window")
             self._truncate_output(offset)
-            journal = open(self.journal_path, "a", encoding="ascii")
+            journal = get_fs().open(self.journal_path, "a", encoding="ascii")
             get_registry().counter(
                 "repro_checkpoint_resumes_total", "Runs resumed from a journal"
             ).inc()
@@ -388,18 +394,26 @@ class CheckpointedJoin:
                 extra={"cursor": cursor, "offset": offset},
             )
         else:
-            journal = open(self.journal_path, "w", encoding="ascii")
-            journal.write(
-                _encode_record(
-                    {
-                        "type": "header",
-                        "version": JOURNAL_VERSION,
-                        "fingerprint": self.fingerprint(),
-                    }
+            fs = get_fs()
+            journal = fs.open(self.journal_path, "w", encoding="ascii")
+            try:
+                journal.write(
+                    _encode_record(
+                        {
+                            "type": "header",
+                            "version": JOURNAL_VERSION,
+                            "fingerprint": self.fingerprint(),
+                        }
+                    )
                 )
-            )
-            journal.flush()
-            os.fsync(journal.fileno())
+                fs.fsync(journal)
+            except OSError as exc:
+                journal.close()
+                if is_disk_full(exc):
+                    raise DiskFullError.wrap(
+                        exc, "durable storage exhausted; journal header write failed"
+                    ) from exc
+                raise
 
         inner = DurableTextSink(
             self.output_path, stats=stats, id_width=width, append=resume
@@ -511,6 +525,18 @@ class CheckpointedJoin:
                     g=self.g if compact else None, index_name=index_name,
                 )
                 raise
+            except OSError as exc:
+                # A bare disk-full from the sink (no retry wrapper in
+                # between) gets the same typed treatment as everywhere
+                # else.  No checkpoint here: the failed task's output may
+                # be partial, and recording it as durable would duplicate
+                # lines on resume — the last cadence checkpoint is the
+                # resume point.
+                if is_disk_full(exc) and not isinstance(exc, DiskFullError):
+                    raise DiskFullError.wrap(
+                        exc, "durable storage exhausted; join output write failed"
+                    ) from exc
+                raise
         finally:
             sink.close()
             journal.close()
@@ -561,20 +587,28 @@ class CheckpointedJoin:
         # Order matters: the output bytes must be durable *before* the
         # journal record that declares them so.
         with trace_span("checkpoint", cursor=int(cursor), final=final):
-            inner.sync()
-            record = {
-                "type": "ckpt",
-                "cursor": int(cursor),
-                "offset": int(inner.tell()),
-                "stats": stats.as_dict(),
-            }
-            if buffer is not None and buffer.g > 0:
-                record["window"] = _serialize_window(buffer)
-            if final:
-                record["done"] = True
-            journal.write(_encode_record(record))
-            journal.flush()
-            os.fsync(journal.fileno())
+            try:
+                inner.sync()
+                record = {
+                    "type": "ckpt",
+                    "cursor": int(cursor),
+                    "offset": int(inner.tell()),
+                    "stats": stats.as_dict(),
+                }
+                if buffer is not None and buffer.g > 0:
+                    record["window"] = _serialize_window(buffer)
+                if final:
+                    record["done"] = True
+                journal.write(_encode_record(record))
+                get_fs().fsync(journal)
+            except OSError as exc:
+                if is_disk_full(exc):
+                    # The journal's durable prefix (earlier records) is
+                    # untouched; the run stays resumable once space frees.
+                    raise DiskFullError.wrap(
+                        exc, "durable storage exhausted; checkpoint write failed"
+                    ) from exc
+                raise
         get_registry().counter(
             "repro_checkpoint_records_total", "Checkpoint records journaled"
         ).inc()
@@ -584,18 +618,18 @@ class CheckpointedJoin:
         )
 
     def _truncate_output(self, offset: int) -> None:
-        if not os.path.exists(self.output_path):
+        fs = get_fs()
+        if not fs.exists(self.output_path):
             if offset:
                 raise CheckpointCorruptError(
                     self.output_path,
                     f"output file missing but journal records {offset} durable bytes",
                 )
             return
-        size = os.path.getsize(self.output_path)
+        size = fs.getsize(self.output_path)
         if size < offset:
             raise CheckpointCorruptError(
                 self.output_path,
                 f"output file shorter than the durable offset ({size} < {offset})",
             )
-        with open(self.output_path, "r+b") as handle:
-            handle.truncate(offset)
+        fs.truncate(self.output_path, offset)

@@ -13,7 +13,13 @@ Three sinks with increasing guarantees:
 * :class:`RetryingSink` — wraps any sink and absorbs *transient*
   ``OSError`` s with bounded exponential backoff, raising
   :class:`~repro.errors.SinkIOError` only after the retry budget is
-  exhausted.
+  exhausted.  Errnos are classified first: failures no retry can fix
+  (``ENOSPC``/``EDQUOT``/``EROFS``) fail fast with
+  :class:`~repro.errors.DiskFullError` instead of burning the budget.
+
+All durable file operations (open, fsync, rename, parent-directory
+fsync) go through the seam in :mod:`repro.io.durable`, so the
+crash-consistency harness can record and fault-inject every one.
 
 Accounting note: the wrappers delegate to the inner sink's public
 methods, so bytes, counters and write timing are charged exactly once, on
@@ -28,7 +34,8 @@ import time
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.results import JoinSink, TextSink
-from repro.errors import SinkIOError
+from repro.errors import DiskFullError, SinkIOError, errno_name, is_disk_full
+from repro.io.durable import best_effort_fsync_dir
 from repro.io.writer import FixedWidthWriter
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -90,10 +97,14 @@ class AtomicTextSink(TextSink):
         if self._closed:
             return
         self._closed = True
+        fs = self._writer.fs
         self._writer.sync()
         self._writer.close()
-        os.replace(self._tmp_path, self.path)
-        self._fsync_parent_dir()
+        fs.replace(self._tmp_path, self.path)
+        # Make the rename itself durable; a platform that cannot fsync
+        # directories downgrades to best effort — with a structured
+        # warning and a metric, never silently.
+        best_effort_fsync_dir(os.path.dirname(os.path.abspath(self.path)), fs)
         self.committed = True
 
     def abort(self) -> None:
@@ -101,24 +112,12 @@ class AtomicTextSink(TextSink):
         if self._closed:
             return
         self._closed = True
+        fs = self._writer.fs
         self._writer.close()
         try:
-            os.unlink(self._tmp_path)
+            fs.unlink(self._tmp_path)
         except FileNotFoundError:
             pass
-
-    def _fsync_parent_dir(self) -> None:
-        # Make the rename itself durable; best effort where the platform
-        # does not support opening directories.
-        parent = os.path.dirname(os.path.abspath(self.path))
-        try:
-            fd = os.open(parent, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
 
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
         if exc_type is not None:
@@ -131,9 +130,13 @@ class RetryingSink(JoinSink):
     """Bounded-backoff retries around a flaky inner sink.
 
     Each write is attempted up to ``1 + max_retries`` times; transient
-    ``OSError`` s are swallowed and retried after a backoff pause, and
-    when the budget is exhausted the last error is wrapped in
-    :class:`~repro.errors.SinkIOError`.
+    ``OSError`` s (``EIO``, ``EAGAIN``, ...) are swallowed and retried
+    after a backoff pause, and when the budget is exhausted the last
+    error is wrapped in :class:`~repro.errors.SinkIOError`.  Errnos that
+    retrying cannot fix — ``ENOSPC``, ``EDQUOT``, ``EROFS`` — fail fast
+    with :class:`~repro.errors.DiskFullError` on the first attempt.
+    Every observed errno is exported as a labelled
+    ``repro_sink_errno_total`` counter.
 
     With ``jitter`` (the default) pauses follow *decorrelated jitter*:
     each is drawn uniformly from ``[base_delay, 3 * previous_pause]``,
@@ -211,6 +214,17 @@ class RetryingSink(JoinSink):
             except SinkIOError:
                 raise  # already final: do not re-wrap or re-retry
             except OSError as exc:
+                get_registry().counter(
+                    f'repro_sink_errno_total{{errno="{errno_name(getattr(exc, "errno", None))}"}}',
+                    "Sink write OSErrors by errno",
+                ).inc()
+                if is_disk_full(exc):
+                    # No backoff schedule fixes a full or read-only disk:
+                    # fail fast, leaving the checkpoint journal (and the
+                    # output's durable prefix) intact for a later resume.
+                    raise DiskFullError.wrap(
+                        exc, "durable storage exhausted; sink write failed"
+                    ) from exc
                 if attempt == self.max_retries:
                     raise SinkIOError(
                         f"sink write failed after {attempt + 1} attempts: {exc}"

@@ -1,0 +1,285 @@
+"""An interposing filesystem: full write-op traces plus disk faults.
+
+:class:`TraceFS` implements the durable-operation seam
+(:class:`repro.io.durable.FileSystem`) by *recording* every mutating
+operation — writes with their byte offsets and payloads, fsyncs,
+renames, parent-directory fsyncs, truncates, unlinks — while passing
+them through to a sandbox directory.  Install it around any workload
+with :func:`repro.io.durable.scoped_fs` and the complete durability
+behaviour of that workload comes out as a list of :class:`Op` records,
+ready for the crash-state explorer
+(:mod:`repro.resilience.crashsim`) to enumerate every legal post-crash
+disk image from.
+
+It is also the disk-fault injector at the syscall boundary:
+
+* ``fail_at={op_index: errno}`` raises ``OSError(errno)`` *instead of*
+  performing the scheduled operation — ``ENOSPC`` for a full disk,
+  ``EIO`` for a dying one — so the retry/fail-fast classification in
+  :class:`~repro.resilience.sinks.RetryingSink` is testable against
+  real errno semantics;
+* ``torn_at={op_index}`` performs only a *prefix* of the scheduled
+  write (half the payload, block-style) and then raises ``EIO`` — the
+  torn-write artifact a power loss leaves mid-line.
+
+Injected operations are recorded with their *actual* effect (the
+written prefix, or nothing), so a trace of a faulted run still replays
+to exactly the bytes the sandbox holds.
+
+Op indices count mutating operations only (reads pass through
+unrecorded), and every recorded path is the *logical* path the
+workload used — the sandbox mapping stays invisible to both the
+workload and the explorer.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+from dataclasses import dataclass, field
+from typing import IO, Callable, Iterable, Mapping, Optional
+
+from repro.errors import errno_name
+from repro.io.durable import FileSystem, OsFileSystem, SandboxFS
+
+__all__ = ["Op", "TraceFS"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One recorded durable-seam operation.
+
+    ``kind`` is one of ``open`` (write-mode open: ``mode`` tells whether
+    it truncated), ``write`` (with ``offset`` and the ``data`` that
+    actually reached the file), ``fsync``, ``fsync_dir``, ``replace``
+    (``path`` → ``dst``), ``truncate`` and ``unlink``.  ``injected``
+    names the fault when the operation was failed by the plan — its
+    recorded effect is what really happened (a torn prefix, or
+    nothing).
+    """
+
+    index: int
+    kind: str
+    path: str
+    dst: Optional[str] = None
+    offset: Optional[int] = None
+    data: bytes = b""
+    size: Optional[int] = None
+    mode: Optional[str] = None
+    injected: Optional[str] = None
+
+    def __repr__(self) -> str:  # compact: payloads elided
+        extra = ""
+        if self.kind == "write":
+            extra = f", offset={self.offset}, len={len(self.data)}"
+        if self.dst is not None:
+            extra += f", dst={self.dst!r}"
+        if self.injected:
+            extra += f", injected={self.injected}"
+        return f"Op({self.index}, {self.kind}, {self.path!r}{extra})"
+
+
+class _TraceHandle:
+    """Binary write handle: records each write's offset and payload."""
+
+    def __init__(self, fs: "TraceFS", path: str, real: IO):
+        self._fs = fs
+        self._path = path
+        self._real = real
+
+    def write(self, data) -> int:
+        data = bytes(data)
+        return self._fs._on_write(
+            self._path, self._real.tell(), data, self._real.write
+        )
+
+    def writelines(self, lines) -> None:
+        for line in lines:
+            self.write(line)
+
+    def __enter__(self) -> "_TraceHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._real.close()
+
+    def __getattr__(self, attr: str):
+        return getattr(self._real, attr)
+
+
+class _TraceTextHandle(_TraceHandle):
+    """Text write handle over a binary file, with exact byte offsets.
+
+    Text-mode ``tell()`` returns opaque cookies, so the underlying file
+    is opened in binary and the byte position is tracked here — the
+    offsets in the trace are true byte offsets.
+    """
+
+    def __init__(self, fs: "TraceFS", path: str, real: IO, encoding: str):
+        super().__init__(fs, path, real)
+        self._encoding = encoding
+        self._pos = real.tell()
+
+    def write(self, data: str) -> int:
+        payload = data.encode(self._encoding)
+        written = self._fs._on_write(
+            self._path, self._pos, payload, self._real.write
+        )
+        self._pos += written
+        return len(data)
+
+    def tell(self) -> int:
+        return self._pos
+
+    def seek(self, *args: object):
+        raise OSError("traced text handles are append/sequential only")
+
+
+class TraceFS(FileSystem):
+    """The recording, fault-injecting durable filesystem (see module doc).
+
+    ``root``: sandbox directory all operations are redirected into
+    (via :class:`~repro.io.durable.SandboxFS`); ``None`` passes paths
+    through unmapped.  ``fail_at`` maps op index → errno to raise;
+    ``torn_at`` is a set of write-op indices to tear.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        fail_at: Optional[Mapping[int, int]] = None,
+        torn_at: Iterable[int] = (),
+    ):
+        self.delegate: FileSystem = SandboxFS(root) if root else OsFileSystem()
+        self.fail_at = {int(k): int(v) for k, v in (fail_at or {}).items()}
+        self.torn_at = frozenset(int(i) for i in torn_at)
+        #: The recorded operation trace, in execution order.
+        self.ops: list[Op] = []
+        self._next_index = 0
+
+    # -- recording machinery ----------------------------------------------
+    @staticmethod
+    def _logical(path: str) -> str:
+        return os.path.abspath(os.fspath(path))
+
+    def _take_index(self) -> int:
+        index = self._next_index
+        self._next_index += 1
+        return index
+
+    def _on_write(
+        self, path: str, offset: int, data: bytes, sink: Callable[[bytes], int]
+    ) -> int:
+        index = self._take_index()
+        fault = self.fail_at.get(index)
+        if index in self.torn_at:
+            prefix = data[: len(data) // 2]
+            if prefix:
+                sink(prefix)
+            self.ops.append(
+                Op(index, "write", path, offset=offset, data=prefix, injected="torn")
+            )
+            code = fault if fault is not None else _errno.EIO
+            raise OSError(code, f"injected torn write (op {index})")
+        if fault is not None:
+            self.ops.append(
+                Op(
+                    index, "write", path, offset=offset, data=b"",
+                    injected=errno_name(fault),
+                )
+            )
+            raise OSError(fault, f"injected {errno_name(fault)} (op {index})")
+        sink(data)
+        self.ops.append(Op(index, "write", path, offset=offset, data=data))
+        return len(data)
+
+    def _on_meta(
+        self,
+        kind: str,
+        path: str,
+        action: Callable[[], None],
+        dst: Optional[str] = None,
+        size: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> None:
+        index = self._take_index()
+        fault = self.fail_at.get(index)
+        if fault is not None:
+            self.ops.append(
+                Op(
+                    index, kind, path, dst=dst, size=size, mode=mode,
+                    injected=errno_name(fault),
+                )
+            )
+            raise OSError(fault, f"injected {errno_name(fault)} (op {index})")
+        action()
+        self.ops.append(Op(index, kind, path, dst=dst, size=size, mode=mode))
+
+    # -- FileSystem interface ---------------------------------------------
+    def open(
+        self, path: str, mode: str = "r", encoding: Optional[str] = None
+    ) -> IO:
+        logical = self._logical(path)
+        if "r" in mode and "+" not in mode:
+            return self.delegate.open(logical, mode, encoding=encoding)
+        if "+" in mode:
+            raise OSError(f"TraceFS does not support update mode {mode!r}")
+        binary = "b" in mode
+        real_mode = mode if binary else mode.replace("t", "") + "b"
+        holder: dict = {}
+
+        def do_open() -> None:
+            holder["real"] = self.delegate.open(logical, real_mode)
+
+        self._on_meta("open", logical, do_open, mode=mode.replace("b", "") or "w")
+        real = holder["real"]
+        if binary:
+            return _TraceHandle(self, logical, real)
+        return _TraceTextHandle(self, logical, real, encoding or "utf-8")
+
+    def fsync(self, handle: IO) -> None:
+        if not isinstance(handle, _TraceHandle):
+            # In-memory targets (StringIO) have no durability to record.
+            OsFileSystem().fsync(handle)
+            return
+        real = handle._real
+
+        def do_fsync() -> None:
+            real.flush()
+            os.fsync(real.fileno())
+
+        self._on_meta("fsync", handle._path, do_fsync)
+
+    def fsync_dir(self, path: str) -> None:
+        logical = self._logical(path)
+        self._on_meta(
+            "fsync_dir", logical, lambda: self.delegate.fsync_dir(logical)
+        )
+
+    def replace(self, src: str, dst: str) -> None:
+        src, dst = self._logical(src), self._logical(dst)
+        self._on_meta(
+            "replace", src, lambda: self.delegate.replace(src, dst), dst=dst
+        )
+
+    def truncate(self, path: str, size: int) -> None:
+        logical = self._logical(path)
+        self._on_meta(
+            "truncate",
+            logical,
+            lambda: self.delegate.truncate(logical, size),
+            size=int(size),
+        )
+
+    def unlink(self, path: str) -> None:
+        logical = self._logical(path)
+        self._on_meta("unlink", logical, lambda: self.delegate.unlink(logical))
+
+    def exists(self, path: str) -> bool:
+        return self.delegate.exists(self._logical(path))
+
+    def getsize(self, path: str) -> int:
+        return self.delegate.getsize(self._logical(path))

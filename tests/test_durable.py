@@ -1,0 +1,215 @@
+"""The durable-I/O seam and the TraceFS interposer.
+
+Covers the seam contract (scoping, sandbox remapping, best-effort
+directory fsync visibility) and the recorder: byte-exact write offsets
+from text handles, the op vocabulary, fault injection with real errno
+semantics, and torn writes.
+"""
+
+import errno
+import io
+import os
+
+import pytest
+
+from repro.io.durable import (
+    OsFileSystem,
+    SandboxFS,
+    best_effort_fsync_dir,
+    get_fs,
+    scoped_fs,
+    set_fs,
+)
+from repro.io.writer import FixedWidthWriter
+from repro.obs.metrics import get_registry, reset_registry
+from repro.resilience.sinks import AtomicTextSink
+from repro.resilience.vfs import TraceFS
+
+
+class TestSeam:
+    def test_default_is_os_passthrough(self):
+        assert isinstance(get_fs(), OsFileSystem)
+
+    def test_scoped_fs_installs_and_restores(self, tmp_path):
+        fs = SandboxFS(str(tmp_path / "box"))
+        before = get_fs()
+        with scoped_fs(fs) as active:
+            assert get_fs() is fs is active
+        assert get_fs() is before
+
+    def test_scoped_fs_restores_after_exception(self, tmp_path):
+        before = get_fs()
+        with pytest.raises(RuntimeError):
+            with scoped_fs(SandboxFS(str(tmp_path))):
+                raise RuntimeError("boom")
+        assert get_fs() is before
+
+    def test_set_fs_none_restores_os(self, tmp_path):
+        set_fs(SandboxFS(str(tmp_path)))
+        try:
+            assert isinstance(get_fs(), SandboxFS)
+        finally:
+            set_fs(None)
+        assert isinstance(get_fs(), OsFileSystem)
+
+    def test_fsync_tolerates_memory_handles(self):
+        OsFileSystem().fsync(io.StringIO())  # no fileno: flush only
+
+    def test_os_truncate(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_bytes(b"0123456789")
+        OsFileSystem().truncate(str(path), 4)
+        assert path.read_bytes() == b"0123"
+
+
+class TestSandboxFS:
+    def test_remaps_absolute_paths_under_root(self, tmp_path):
+        box = SandboxFS(str(tmp_path / "box"))
+        with box.open("/data/out.txt", "w") as handle:
+            handle.write("hello")
+        real = box.map("/data/out.txt")
+        assert real.startswith(str(tmp_path / "box"))
+        assert open(real).read() == "hello"
+        assert not os.path.exists("/data/out.txt")
+
+    def test_metadata_and_rename(self, tmp_path):
+        box = SandboxFS(str(tmp_path / "box"))
+        with box.open("/a.txt", "w") as handle:
+            handle.write("x")
+        assert box.exists("/a.txt") and box.getsize("/a.txt") == 1
+        box.replace("/a.txt", "/b.txt")
+        assert not box.exists("/a.txt") and box.exists("/b.txt")
+        box.unlink("/b.txt")
+        assert not box.exists("/b.txt")
+
+
+class TestBestEffortFsyncDir:
+    def test_success_returns_true(self, tmp_path):
+        assert best_effort_fsync_dir(str(tmp_path)) is True
+
+    def test_failure_is_visible_not_silent(self, tmp_path):
+        registry = reset_registry()
+        try:
+            ok = best_effort_fsync_dir(str(tmp_path / "does-not-exist"))
+        finally:
+            pass
+        assert ok is False
+        counter = registry.counter("repro_fsync_dir_failures_total")
+        assert counter.value == 1
+
+
+class TestTraceFS:
+    def test_text_writes_record_byte_offsets(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with fs.open("/out.txt", "w", encoding="ascii") as handle:
+            handle.write("alpha\n")
+            handle.write("beta\n")
+            fs.fsync(handle)
+        kinds = [op.kind for op in fs.ops]
+        assert kinds == ["open", "write", "write", "fsync"]
+        assert fs.ops[1].offset == 0 and fs.ops[1].data == b"alpha\n"
+        assert fs.ops[2].offset == 6 and fs.ops[2].data == b"beta\n"
+        with fs.delegate.open("/out.txt", "rb") as handle:
+            assert handle.read() == b"alpha\nbeta\n"
+
+    def test_append_offsets_continue_from_existing_size(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with fs.open("/out.txt", "w") as handle:
+            handle.write("12345")
+        with fs.open("/out.txt", "a") as handle:
+            handle.write("67")
+        append_write = fs.ops[-1]
+        assert append_write.kind == "write" and append_write.offset == 5
+
+    def test_metadata_ops_recorded(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with fs.open("/a.txt", "w") as handle:
+            handle.write("abc")
+        fs.replace("/a.txt", "/b.txt")
+        fs.fsync_dir("/")
+        fs.truncate("/b.txt", 1)
+        fs.unlink("/b.txt")
+        kinds = [op.kind for op in fs.ops]
+        assert kinds == [
+            "open", "write", "replace", "fsync_dir", "truncate", "unlink",
+        ]
+        assert fs.ops[2].dst == "/b.txt"
+        assert fs.ops[4].size == 1
+
+    def test_reads_pass_through_unrecorded(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with fs.open("/a.txt", "w") as handle:
+            handle.write("abc")
+        n_ops = len(fs.ops)
+        with fs.open("/a.txt", "r") as handle:
+            assert handle.read() == "abc"
+        assert fs.exists("/a.txt") and fs.getsize("/a.txt") == 3
+        assert len(fs.ops) == n_ops
+
+    def test_update_mode_rejected(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with pytest.raises(OSError):
+            fs.open("/a.txt", "r+b")
+
+    def test_fault_injection_write_fails_with_errno(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"),
+                     fail_at={1: errno.ENOSPC})
+        handle = fs.open("/out.txt", "w")
+        with pytest.raises(OSError) as excinfo:
+            handle.write("doomed")
+        handle.close()
+        assert excinfo.value.errno == errno.ENOSPC
+        failed = fs.ops[1]
+        assert failed.injected == "enospc" and failed.data == b""
+        with fs.delegate.open("/out.txt", "rb") as readback:
+            assert readback.read() == b""  # the failed write stored nothing
+
+    def test_torn_write_stores_half_then_raises_eio(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"), torn_at={1})
+        handle = fs.open("/out.txt", "w")
+        with pytest.raises(OSError) as excinfo:
+            handle.write("0123456789")
+        handle.close()
+        assert excinfo.value.errno == errno.EIO
+        torn = fs.ops[1]
+        assert torn.injected == "torn" and torn.data == b"01234"
+        with fs.delegate.open("/out.txt", "rb") as readback:
+            assert readback.read() == b"01234"
+
+    def test_metadata_fault_has_no_effect(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with fs.open("/a.txt", "w") as handle:
+            handle.write("abc")
+        fs.fail_at = {len(fs.ops): errno.EIO}
+        with pytest.raises(OSError):
+            fs.replace("/a.txt", "/b.txt")
+        assert fs.exists("/a.txt") and not fs.exists("/b.txt")
+        assert fs.ops[-1].kind == "replace" and fs.ops[-1].injected == "eio"
+
+
+class TestSeamIntegration:
+    def test_writer_captures_active_fs(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with scoped_fs(fs):
+            writer = FixedWidthWriter("/w.txt", width=4)
+        # Writes after the scope still land in the captured filesystem.
+        writer.write_link(1, 2)
+        writer.close()
+        assert fs.delegate.exists("/w.txt")
+        assert [op.kind for op in fs.ops][:2] == ["open", "write"]
+
+    def test_atomic_sink_trace_shows_publication_barriers(self, tmp_path):
+        fs = TraceFS(root=str(tmp_path / "box"))
+        with scoped_fs(fs):
+            with AtomicTextSink("/out.txt", id_width=4) as sink:
+                sink.write_link(1, 2)
+        kinds = [op.kind for op in fs.ops]
+        # write → fsync (content durable) → replace (publish) → fsync_dir
+        # (rename durable): the exact order the durability contract states.
+        assert kinds[-3:] == ["fsync", "replace", "fsync_dir"]
+        assert kinds.index("fsync") < kinds.index("replace")
+
+    def test_registry_reset(self):
+        # Leave a clean global registry for other test modules.
+        reset_registry()
+        assert len(get_registry()) == 0
