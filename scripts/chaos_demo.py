@@ -27,14 +27,25 @@ Three scenarios, selected with ``--scenario``:
     checkpoint journal resumable.  "Space is freed", the run resumes,
     and the output is byte-identical.
 
-Every scenario ends with the same verification pass: byte-identical
-output and an expanded link set equal to the brute-force join
-(Theorems 1 and 2 across a crash).
+``overload``
+    A different failure axis: a seeded request storm at 4x the serving
+    layer's capacity.  The bounded queue sheds typed
+    (:class:`~repro.errors.AdmissionRejectedError`, exit code 9),
+    pressure degrades requests to estimator answers marked
+    ``degraded=True``, an injected pool failure trips the circuit
+    breaker (:class:`~repro.errors.CircuitOpenError`, exit code 10),
+    and a post-cooldown probe heals it.
+
+Every recovery scenario ends with the same verification pass:
+byte-identical output and an expanded link set equal to the brute-force
+join (Theorems 1 and 2 across a crash).  The overload scenario instead
+verifies the serving contract: one typed outcome per request, bounded
+queue, healed breaker.
 
 Usage::
 
     PYTHONPATH=src python scripts/chaos_demo.py
-        [--scenario sink|worker|pool|disk] [--seed 7] [--n 2000]
+        [--scenario sink|worker|pool|disk|overload] [--seed 7] [--n 2000]
 """
 
 import argparse
@@ -187,10 +198,97 @@ def _scenario_disk(args, pts, reference, recovered):
     return _verify(pts, args.eps, reference, recovered, result)
 
 
+def _scenario_overload(args, pts, reference, recovered):
+    """Request storm at 4x capacity: shed typed (exit code 9), degrade
+    marked, breaker opens on injected failures (exit code 10), heals."""
+    from repro.errors import AdmissionRejectedError, CircuitOpenError
+    from repro.resilience.chaos import OverloadInjector
+    from repro.service import JoinRequest, JoinService, ServiceConfig
+
+    chaos = OverloadInjector(args.seed, slow_every=3, slow_seconds=0.03,
+                             fail_at=(0,), failure="pool")
+    config = ServiceConfig(queue_depth=3, default_deadline=5.0,
+                           breaker_threshold=1, breaker_cooldown_base=0.02,
+                           breaker_cooldown_max=0.1, seed=args.seed)
+    base = pts[:600]
+    service = JoinService(config, chaos=chaos)
+    total = 0
+    try:
+        # Phase 1: a storm at 4x capacity -- bounded queue sheds, typed.
+        # Request 0 carries the chaos pool-failure mark; it is held back
+        # for phase 3 so the breaker trip is isolated from the storm.
+        full = chaos.storm(base, args.eps * 2, requests=16,
+                           deadline_seconds=5.0)
+        storm = full[1:]
+        outcomes = service.serve(storm)
+        total += len(storm)
+        print(f"storm          : {len(storm)} requests vs queue bound "
+              f"{config.queue_depth} + 1 executor (4x capacity)")
+        for outcome in outcomes:
+            extra = ""
+            if outcome.status == "shed":
+                extra = (f" (AdmissionRejectedError, exit code "
+                         f"{AdmissionRejectedError.exit_code}, "
+                         f"Retry-After {outcome.retry_after:.2f}s)")
+            elif outcome.status == "degraded":
+                extra = " (estimator answer, degraded=True)"
+            print(f"  {outcome.request_id:<12s}: {outcome.status}{extra}")
+        print(f"peak queue     : {service.peak_queue}/{config.queue_depth}")
+
+        # Phase 2: an impossible deadline -- degrade, never fail.
+        hopeless = service.submit(
+            JoinRequest(points=base, eps=args.eps * 2, deadline_seconds=1e-6,
+                        request_id="hopeless")
+        ).wait(60.0)
+        total += 1
+        print(f"tight deadline : {hopeless.request_id} -> {hopeless.status} "
+              f"(estimator answer, degraded=True, "
+              f"~{hopeless.result.stats.links_emitted} links predicted)")
+
+        # Phase 3: the chaos-marked request fails the pool -- the
+        # breaker opens, the next request fails fast, a probe heals it.
+        tripped = service.submit(full[0]).wait(60.0)
+        total += 1
+        print(f"pool failure   : {tripped.request_id} -> {tripped.status} "
+              f"(dependency down; circuit {service.pool_breaker.state})")
+        fast = None
+        try:
+            service.submit(JoinRequest(points=base, eps=args.eps * 2,
+                                       request_id="while-open"))
+        except CircuitOpenError as exc:
+            fast = exc
+            total += 1
+        print(f"while open     : while-open -> breaker_open "
+              f"(CircuitOpenError, exit code {CircuitOpenError.exit_code}, "
+              f"Retry-After {fast.retry_after:.2f}s)" if fast else
+              "while open     : MISSING fast failure")
+        time.sleep(0.3)  # let the cooldown expire
+        probe = service.submit(
+            JoinRequest(points=base, eps=args.eps * 2, request_id="probe")
+        ).wait(60.0)
+        total += 1
+        print(f"breaker probe  : {probe.status} "
+              f"(circuit {service.pool_breaker.state})")
+        counts = service.counts()
+    finally:
+        service.close()
+    print(f"outcomes       : {counts}")
+    one_each = sum(counts.values()) == total
+    bounded = service.peak_queue <= config.queue_depth
+    ladder_ok = (counts["shed"] > 0 and counts["degraded"] >= 2
+                 and counts["breaker_open"] == 1 and counts["failed"] == 0)
+    healed = probe.status == "admitted" and fast is not None
+    if one_each and bounded and ladder_ok and healed:
+        print("PASS: bounded queue, typed outcomes, breaker healed")
+        return 0
+    print("FAIL: overload contract violated")
+    return 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", default="sink",
-                        choices=["sink", "worker", "pool", "disk"],
+                        choices=["sink", "worker", "pool", "disk", "overload"],
                         help="which failure mode to inject")
     parser.add_argument("--seed", type=int, default=7, help="chaos seed")
     parser.add_argument("--n", type=int, default=2000, help="points")
@@ -206,13 +304,17 @@ def main() -> int:
 
     print(f"scenario       : {args.scenario}")
     print(f"dataset        : {args.n} uniform points, eps={args.eps:g}")
-    _reference_run(pts, args.eps, reference)
+    if args.scenario != "overload":
+        # The overload scenario verifies serving outcomes, not recovery
+        # of one long run; it needs no offline reference file.
+        _reference_run(pts, args.eps, reference)
 
     runner = {
         "sink": _scenario_sink,
         "worker": _scenario_worker,
         "pool": _scenario_pool,
         "disk": _scenario_disk,
+        "overload": _scenario_overload,
     }[args.scenario]
     return runner(args, pts, reference, recovered)
 

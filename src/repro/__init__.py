@@ -24,7 +24,7 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record.
 """
 
-from repro.api import build_index, similarity_join, spatial_join_datasets
+from repro.api import build_index, open_service, similarity_join, spatial_join_datasets
 from repro.core import (
     CallbackSink,
     CollectSink,
@@ -53,8 +53,11 @@ from repro.core import (
     ssj,
 )
 from repro.errors import (
+    EXIT_CODES,
+    AdmissionRejectedError,
     BudgetExceededError,
     CheckpointCorruptError,
+    CircuitOpenError,
     InvalidInputError,
     PoisonTaskError,
     ReproError,
@@ -82,6 +85,13 @@ from repro.index import (
     load_index,
     save_index,
 )
+from repro.service import (
+    CircuitBreaker,
+    JoinRequest,
+    JoinService,
+    RequestOutcome,
+    ServiceConfig,
+)
 from repro.resilience import (
     AtomicTextSink,
     Budget,
@@ -101,6 +111,12 @@ __all__ = [
     "similarity_join",
     "spatial_join_datasets",
     "build_index",
+    "open_service",
+    "JoinService",
+    "JoinRequest",
+    "RequestOutcome",
+    "ServiceConfig",
+    "CircuitBreaker",
     "parallel_join",
     "SupervisorConfig",
     # algorithms
@@ -153,6 +169,9 @@ __all__ = [
     "CheckpointCorruptError",
     "PoisonTaskError",
     "WorkerPoolError",
+    "AdmissionRejectedError",
+    "CircuitOpenError",
+    "EXIT_CODES",
     "Budget",
     "CheckpointedJoin",
     "AtomicTextSink",

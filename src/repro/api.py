@@ -34,7 +34,7 @@ from repro.obs.logging import get_logger
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
-__all__ = ["build_index", "similarity_join", "spatial_join_datasets"]
+__all__ = ["build_index", "similarity_join", "spatial_join_datasets", "open_service"]
 
 logger = get_logger("api")
 
@@ -181,6 +181,45 @@ def similarity_join(
     if algorithm == "ncsj":
         return _ncsj(tree, eps, sink=sink, budget=budget, engine=engine)
     return _csj(tree, eps, g=g, sink=sink, budget=budget, engine=engine)
+
+
+def open_service(
+    queue_depth: int = 8,
+    deadline_ms: Optional[float] = None,
+    executors: int = 1,
+    workers: int = 1,
+    engine: str = "vectorized",
+    **config_kwargs,
+):
+    """Open an overload-resilient :class:`~repro.service.JoinService`.
+
+    The serving counterpart of :func:`similarity_join`: submit
+    :class:`~repro.service.JoinRequest` s (or a whole batch via
+    ``serve``) and get exactly one typed outcome per request — served
+    exactly, degraded to the analytic estimator (``degraded=True``),
+    shed with a ``Retry-After`` hint
+    (:class:`~repro.errors.AdmissionRejectedError`, exit 9), or failed
+    fast on an open circuit (:class:`~repro.errors.CircuitOpenError`,
+    exit 10).
+
+    ``queue_depth`` bounds the admission queue; ``deadline_ms`` is the
+    default per-request deadline in **milliseconds** (matching the CLI's
+    ``--deadline-ms``), measured from submission and propagated
+    end-to-end.  Close the service (it is a context manager) to drain
+    the executors.
+    """
+    from repro.service import JoinService, ServiceConfig  # deferred: threads
+
+    return JoinService(
+        ServiceConfig(
+            queue_depth=queue_depth,
+            executors=executors,
+            default_deadline=None if deadline_ms is None else deadline_ms / 1000.0,
+            workers=workers,
+            engine=engine,
+            **config_kwargs,
+        )
+    )
 
 
 def spatial_join_datasets(

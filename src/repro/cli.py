@@ -12,12 +12,20 @@ Subcommands
     ``fig8``, ``exp4``) or an ablation (``bulk``, ``capacity``,
     ``egrid``); prints a plain-text table of rows.
 
+``serve``
+    Drive a seeded request storm through the overload-resilient
+    :class:`~repro.service.JoinService` (bounded admission queue,
+    per-request deadlines, circuit breakers, brownout ladder) and print
+    one outcome per request.
+
 ``demo``
     The Figure 1 walk-through: seven points, eight links, three groups.
 
 Examples::
 
     csj join --dataset mg_county -n 5000 --eps 0.05 --algorithm csj -g 10
+    csj serve --dataset uniform -n 2000 --eps 0.04 --requests 32 \
+        --queue-depth 8 --deadline-ms 500
     csj experiment fig6
     csj demo
 """
@@ -146,6 +154,79 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="log a progress heartbeat (links/groups/bytes so far) every "
         "SECONDS while the join runs",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a seeded request storm through the overload-resilient "
+        "JoinService (admission control, deadlines, breakers, brownout)",
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--dataset", help="generated dataset name")
+    serve_source.add_argument(
+        "--input", help="coordinate text file (one point per line)"
+    )
+    serve.add_argument("-n", type=int, default=2000, help="points to generate")
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the dataset AND the request storm",
+    )
+    serve.add_argument("--eps", type=float, required=True, help="query range")
+    serve.add_argument(
+        "--algorithm",
+        default="csj",
+        choices=["ssj", "ncsj", "csj", "egrid", "egrid-csj", "pbsm", "pbsm-csj"],
+    )
+    serve.add_argument("-g", type=int, default=10, help="CSJ merge window")
+    serve.add_argument(
+        "--requests", type=int, default=32,
+        help="storm size (requests submitted back to back)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="admission queue bound; beyond it requests are shed with a "
+        "Retry-After hint (typed AdmissionRejectedError, exit 9)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline in milliseconds, measured from "
+        "submission (queue wait spends it) and propagated end-to-end; "
+        "over-budget requests degrade to the analytic estimator answer",
+    )
+    serve.add_argument(
+        "--executors", type=int, default=1,
+        help="concurrent executor threads draining the queue",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per request (1 = serial execution)",
+    )
+    serve.add_argument(
+        "--engine", default="vectorized", choices=["vectorized", "scalar"],
+    )
+    serve.add_argument(
+        "--slow-every", type=int, default=0, metavar="K",
+        help="chaos: stall every K-th storm request before execution "
+        "(deterministic slow-dependency brownout)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=50.0, metavar="MS",
+        help="chaos: stall duration for --slow-every",
+    )
+    serve.add_argument(
+        "--fail-at", type=int, nargs="*", default=(), metavar="I",
+        help="chaos: inject a worker-pool failure on these storm request "
+        "indices (feeds the pool circuit breaker)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print outcomes as JSON lines on stdout (summary object last)",
+    )
+    serve.add_argument(
+        "--strict", action="store_true",
+        help="exit with the typed code of the worst non-admitted outcome: "
+        "10 if any request failed on an open circuit, else 9 if any was "
+        "shed, else 0",
     )
 
     experiment = sub.add_parser("experiment", help="reproduce a paper artifact")
@@ -431,6 +512,91 @@ def _cmd_join(args: argparse.Namespace) -> int:
             reset_logging()  # never leak our handler into in-process callers
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.api import open_service
+    from repro.obs.metrics import get_registry, reset_registry
+    from repro.resilience.chaos import OverloadInjector
+
+    reset_registry()
+    points = _load_points(args)
+    chaos = OverloadInjector(
+        seed=args.seed,
+        slow_every=args.slow_every,
+        slow_seconds=args.slow_ms / 1000.0,
+        fail_at=args.fail_at,
+    )
+    service = open_service(
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        executors=args.executors,
+        workers=args.workers,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    service.chaos = chaos
+    requests = chaos.storm(
+        points,
+        args.eps,
+        requests=args.requests,
+        algorithm=args.algorithm,
+        g=args.g,
+    )
+    try:
+        outcomes = service.serve(requests)
+    finally:
+        service.close()
+
+    counts = service.counts()
+    for outcome in outcomes:
+        stats = outcome.result.stats if outcome.result is not None else None
+        record = {
+            "request": outcome.request_id,
+            "status": outcome.status,
+            "degraded": outcome.degraded,
+            "links": stats.links_emitted if stats else None,
+            "bytes": stats.bytes_written if stats else None,
+            "retry_after": outcome.retry_after,
+        }
+        if args.json:
+            print(_json.dumps(record))
+        else:
+            extra = ""
+            if outcome.retry_after is not None:
+                extra = f" retry_after={outcome.retry_after:.3f}s"
+            print(
+                f"{record['request']:<14} {record['status']:<12} "
+                f"links={record['links']}{extra}"
+            )
+    snapshot = get_registry().snapshot()
+    summary = {
+        "requests": len(outcomes),
+        "counts": counts,
+        "peak_queue": service.peak_queue,
+        "queue_depth": args.queue_depth,
+        "metrics": {
+            k: v for k, v in snapshot.items() if k.startswith("repro_service")
+        },
+    }
+    if args.json:
+        print(_json.dumps(summary))
+    else:
+        print(
+            f"served {summary['requests']} requests: {counts['admitted']} exact, "
+            f"{counts['degraded']} degraded, {counts['shed']} shed, "
+            f"{counts['breaker_open']} breaker-open, {counts['failed']} failed "
+            f"(peak queue {service.peak_queue}/{args.queue_depth})",
+            file=sys.stderr,
+        )
+    if args.strict:
+        if counts["breaker_open"]:
+            return 10
+        if counts["shed"]:
+            return 9
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, ablations, tables
     from repro.experiments import exp4, fig5, fig6, fig7, fig8
@@ -518,11 +684,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Failures map to distinct nonzero exit codes (see
-    :mod:`repro.errors`): invalid input 2, budget exceeded 3, sink I/O 4,
-    corrupt checkpoint/index file 5, poison task 6, worker pool failure 7,
-    disk full / read-only storage 8, any other error 1 — with a one-line
-    message on stderr instead of a traceback.
+    Failures map to distinct nonzero exit codes (the registry in
+    :mod:`repro.errors` is the source of truth): invalid input 2, budget
+    exceeded 3, sink I/O 4, corrupt checkpoint/index file 5, poison task
+    6, worker pool failure 7, disk full / read-only storage 8, admission
+    rejected / request shed 9, circuit breaker open 10, any other error
+    1 — with a one-line message on stderr instead of a traceback.
     """
     from repro.errors import ReproError
 
@@ -530,6 +697,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "join":
             return _cmd_join(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "cluster":

@@ -299,6 +299,12 @@ class JoinResult:
     #: True when the run was replaced by the analytic estimator (the
     #: paper's crash protocol): counters are predictions, not measurements.
     estimated: bool = False
+    #: True when the serving layer browned this request out: the answer
+    #: is the analytic estimate (``estimated`` is then also True), served
+    #: because the request ran over its deadline/byte budget or the
+    #: admission queue was under pressure.  A degraded result carries no
+    #: exact links or groups; resubmit under a larger budget for them.
+    degraded: bool = False
     #: Path of the output text file when the run used a file sink; lets
     #: :meth:`expanded_links` verify file-backed runs too.
     output_path: Optional[str] = None
@@ -392,6 +398,7 @@ class JoinResult:
             "write_time": self.stats.write_time,
             "total_time": self.stats.total_time,
             "estimated": self.estimated,
+            "degraded": self.degraded,
         }
 
     def __repr__(self) -> str:

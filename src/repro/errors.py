@@ -31,6 +31,10 @@ __all__ = [
     "CheckpointCorruptError",
     "PoisonTaskError",
     "WorkerPoolError",
+    "AdmissionRejectedError",
+    "CircuitOpenError",
+    "EXIT_CODES",
+    "exit_code_registry",
     "FATAL_STORAGE_ERRNOS",
     "errno_name",
     "is_disk_full",
@@ -192,6 +196,98 @@ class WorkerPoolError(ReproError):
     """
 
     exit_code = 7
+
+
+class AdmissionRejectedError(ReproError):
+    """The serving layer shed a request before admitting it.
+
+    Raised by :class:`~repro.service.JoinService` when the bounded
+    admission queue is full (backpressure) — the request was never
+    started, so retrying after :attr:`retry_after` seconds is always
+    safe.  ``queue_depth`` is the configured bound that was hit.
+    """
+
+    exit_code = 9
+
+    def __init__(
+        self,
+        queue_depth: int,
+        retry_after: float = 0.0,
+        message: Optional[str] = None,
+    ):
+        self.queue_depth = int(queue_depth)
+        #: Suggested wait before resubmitting, in seconds (``Retry-After``).
+        self.retry_after = float(retry_after)
+        super().__init__(
+            message
+            or (
+                f"admission queue full (depth {queue_depth}); "
+                f"retry after {self.retry_after:.3f}s"
+            )
+        )
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open and the guarded component was not called.
+
+    ``component`` names the guarded dependency (``"worker-pool"``,
+    ``"sink"``); :attr:`retry_after` is the remaining cooldown before the
+    breaker will admit a half-open probe.  Failing fast here protects a
+    struggling dependency from a retry storm.
+    """
+
+    exit_code = 10
+
+    def __init__(
+        self,
+        component: str,
+        retry_after: float = 0.0,
+        message: Optional[str] = None,
+    ):
+        self.component = str(component)
+        #: Remaining cooldown before a half-open probe, in seconds.
+        self.retry_after = float(retry_after)
+        super().__init__(
+            message
+            or (
+                f"circuit breaker for {component!r} is open; "
+                f"retry after {self.retry_after:.3f}s"
+            )
+        )
+
+
+#: The single source of truth for process exit codes.  The CLI, the chaos
+#: demo, and the DESIGN.md failure table must all agree with this mapping
+#: (``tests/test_errors.py`` enforces it).  Exit code 0 is success and 1
+#: is the catch-all ``ReproError``; codes 2-10 identify specific typed
+#: failures.
+EXIT_CODES: dict[int, type] = {
+    1: ReproError,
+    2: InvalidInputError,
+    3: BudgetExceededError,
+    4: SinkIOError,
+    5: CheckpointCorruptError,
+    6: PoisonTaskError,
+    7: WorkerPoolError,
+    8: DiskFullError,
+    9: AdmissionRejectedError,
+    10: CircuitOpenError,
+}
+
+
+def exit_code_registry() -> dict[int, type]:
+    """A copy of the exit-code registry, validated for consistency.
+
+    Every entry's class attribute must match its registry key — a
+    mismatch means someone edited one side without the other.
+    """
+    for code, cls in EXIT_CODES.items():
+        if cls.exit_code != code:
+            raise AssertionError(
+                f"exit-code registry mismatch: {cls.__name__}.exit_code "
+                f"is {cls.exit_code}, registry says {code}"
+            )
+    return dict(EXIT_CODES)
 
 
 def validate_points(points: object, name: str = "points") -> np.ndarray:

@@ -213,6 +213,48 @@ class MetricsRegistry:
                 budget.max_groups
             )
 
+    def service_outcome(self, outcome: str) -> None:
+        """Count one serving-layer request outcome.
+
+        ``outcome`` is one of the ladder's terminal states: ``admitted``
+        (served exactly), ``degraded`` (estimator answer), ``shed``
+        (admission queue full) or ``breaker_open`` (failed fast).  Each
+        request increments exactly one of these, so the four counters
+        partition the request stream — the overload gate audits that.
+        """
+        self.counter(
+            f"repro_service_{outcome}_total",
+            f"Requests that ended {outcome.replace('_', ' ')}",
+        ).inc()
+
+    def service_pressure(
+        self, queue_len: int, queue_depth: int, deadline_slack: Optional[float]
+    ) -> None:
+        """Publish the serving layer's live pressure gauges."""
+        self.gauge(
+            "repro_service_queue_depth", "Requests waiting for an executor"
+        ).set(queue_len)
+        self.gauge(
+            "repro_service_queue_limit", "Configured admission queue bound"
+        ).set(queue_depth)
+        if deadline_slack is not None:
+            self.gauge(
+                "repro_service_deadline_slack_seconds",
+                "Remaining deadline of the request now starting",
+            ).set(deadline_slack)
+
+    def breaker_state(self, name: str, state: str) -> None:
+        """Export a circuit breaker's state (0 closed, 1 half-open, 2 open)."""
+        value = {"closed": 0, "half_open": 1, "open": 2}.get(state, -1)
+        self.gauge(
+            f'repro_service_breaker_state{{breaker="{name}"}}',
+            "Circuit state: 0 closed, 1 half-open, 2 open",
+        ).set(value)
+        self.counter(
+            f'repro_service_breaker_transitions_total{{breaker="{name}",to="{state}"}}',
+            "Circuit breaker state transitions",
+        ).inc()
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------

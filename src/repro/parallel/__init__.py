@@ -54,6 +54,8 @@ def parallel_join(
     config: Optional[SupervisorConfig] = None,
     fault: Optional[FlakyWorker] = None,
     engine: str = "vectorized",
+    breaker: object = None,
+    cancel: object = None,
 ) -> JoinResult:
     """Run a similarity self-join across a supervised worker pool.
 
@@ -61,7 +63,17 @@ def parallel_join(
     ``workers`` sets the pool size, ``task_timeout`` the per-task
     wall-clock limit, ``config`` overrides the full
     :class:`~repro.parallel.supervisor.SupervisorConfig`, and ``fault``
-    injects deterministic worker failures for testing.
+    injects deterministic worker failures for testing.  ``breaker``
+    (an object with ``allow/record_failure/record_success/retry_after``,
+    e.g. :class:`~repro.service.CircuitBreaker`) guards the pool:
+    worker deaths feed it and an open circuit aborts with
+    :class:`~repro.errors.CircuitOpenError`.  ``cancel`` (a
+    ``threading.Event``) requests cooperative cancellation.
+
+    Deadline propagation: a ``budget`` with a deadline binds end-to-end —
+    the per-task timeout is capped at the remaining slack, and the
+    absolute deadline is pickled into the :class:`JoinSpec` so workers
+    refuse tasks once it passes, even mid-queue.
 
     Guarantees: output is byte-identical to the serial algorithm for any
     worker count; a task that repeatedly kills its workers raises
@@ -71,6 +83,23 @@ def parallel_join(
     :class:`~repro.errors.BudgetExceededError` with the valid partial
     prefix attached.
     """
+    deadline_at = None
+    if budget is not None:
+        # Pin the request deadline to an absolute timestamp once, here,
+        # so every layer below (task timeouts, workers, sink retries)
+        # measures against the same clock edge.
+        remaining = budget.remaining_seconds()
+        if budget.deadline_at is not None:
+            deadline_at = budget.deadline_at
+        elif remaining is not None:
+            deadline_at = time.monotonic() + remaining
+        capped = budget.cap_timeout(task_timeout)
+        if capped is not None and capped <= 0:
+            # Deadline already spent: keep a minimal valid timeout and
+            # let the scheduler raise the breach with the partial result
+            # attached, exactly like a mid-run expiry.
+            capped = 1e-3
+        task_timeout = capped
     spec = JoinSpec(
         points=points,
         eps=eps,
@@ -82,6 +111,7 @@ def parallel_join(
         metric=metric,
         partitions_per_axis=partitions_per_axis,
         engine=engine,
+        deadline_at=deadline_at,
     )
     state = spec.build_state()
     if sink is None:
@@ -99,6 +129,8 @@ def parallel_join(
         budget=budget,
         fault=fault,
         skip_poisoned=True,
+        breaker=breaker,
+        cancel=cancel,
     )
 
     def finish() -> JoinResult:

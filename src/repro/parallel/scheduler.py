@@ -40,7 +40,7 @@ from typing import Callable, Optional
 
 from repro.core.groups import GroupBuffer
 from repro.core.results import JoinSink
-from repro.errors import PoisonTaskError, WorkerPoolError
+from repro.errors import BudgetExceededError, CircuitOpenError, PoisonTaskError, WorkerPoolError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span as trace_span
@@ -78,6 +78,8 @@ class WorkScheduler:
         fault: Optional[FlakyWorker] = None,
         start_cursor: int = 0,
         skip_poisoned: bool = True,
+        breaker: object = None,
+        cancel: object = None,
     ):
         self.state = state
         self.sink = sink
@@ -87,6 +89,15 @@ class WorkScheduler:
         self.budget = budget
         self.fault = fault
         self.skip_poisoned = skip_poisoned
+        #: Optional circuit breaker guarding the pool (duck-typed:
+        #: ``allow()/record_failure()/record_success()/retry_after()``).
+        #: Worker deaths feed it, so a respawn storm opens the circuit
+        #: mid-run instead of thrashing the host.
+        self.breaker = breaker
+        #: Optional cancellation signal (``threading.Event`` protocol).
+        #: Checked every scheduling round: in-flight work is abandoned
+        #: cooperatively, workers are shut down, and the run raises.
+        self.cancel = cancel
         self.merged = int(start_cursor)
 
         n = len(state.tasks)
@@ -115,6 +126,10 @@ class WorkScheduler:
         ``on_task_merged(cursor)`` fires after each task's delta lands in
         the sink (cursor = tasks merged so far) — the checkpoint hook.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                "worker-pool", retry_after=self.breaker.retry_after()
+            )
         if self.budget is not None:
             self.budget.start()
         if self.merged >= self._n:
@@ -142,6 +157,10 @@ class WorkScheduler:
         )
         try:
             while not self._done():
+                if self.cancel is not None and self.cancel.is_set():
+                    raise BudgetExceededError(
+                        "cancelled", 0.0, 0.0, "join cancelled cooperatively"
+                    )
                 self._promote_ready_retries()
                 self._dispatch(supervisor)
                 for kind, handle, payload in supervisor.poll(timeout=0.05):
@@ -158,16 +177,29 @@ class WorkScheduler:
                     # Deadline must fire even while every task is stuck
                     # in flight and nothing reaches the merge cursor.
                     self.budget.enforce(self.stats)
+                if self.breaker is not None and self.breaker.state == "open":
+                    # Worker deaths opened the circuit mid-run: stop
+                    # feeding a pool that keeps eating its workers.
+                    raise CircuitOpenError(
+                        "worker-pool", retry_after=self.breaker.retry_after()
+                    )
                 if not supervisor.workers and not self._done():
                     # All workers gone and nothing respawned: fatal.
                     raise WorkerPoolError(
                         "worker pool is empty with tasks outstanding"
                     )
+        except WorkerPoolError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
         finally:
             supervisor.shutdown()
             queue_depth.set(0.0)
             heartbeat_age.set(0.0)
             self._export_pool_metrics(registry, supervisor)
+
+        if self.breaker is not None:
+            self.breaker.record_success()
 
         if self._quarantined:
             task_id = min(self._quarantined)
@@ -346,6 +378,8 @@ class WorkScheduler:
 
     def _on_worker_died(self, supervisor: Supervisor, handle) -> None:
         task_id = handle.current
+        if self.breaker is not None:
+            self.breaker.record_failure()
         if task_id is not None:
             self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
             self._record_failure(
@@ -356,6 +390,8 @@ class WorkScheduler:
 
     def _on_worker_killed(self, supervisor: Supervisor, handle, reason: str) -> None:
         task_id = handle.current
+        if self.breaker is not None:
+            self.breaker.record_failure()
         if task_id is not None:
             self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
             self._record_failure(task_id, reason)

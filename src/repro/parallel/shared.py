@@ -36,6 +36,9 @@ class SharedCounters:
         self.max_output_bytes = budget.max_output_bytes
         self.max_groups = budget.max_groups
         self.deadline_seconds = budget.deadline_seconds
+        # An armed absolute deadline composes with the relative one: the
+        # tighter bound is what :meth:`start` publishes to workers.
+        self.armed_deadline_at = budget.deadline_at
         self._bytes = ctx.Value("q", 0, lock=False)
         self._groups = ctx.Value("q", 0, lock=False)
         # 0.0 = deadline clock not started (or no deadline at all).
@@ -49,9 +52,19 @@ class SharedCounters:
         return cls(ctx, budget)
 
     def start(self) -> None:
-        """Fix the absolute deadline (parent, at run start)."""
+        """Fix the absolute deadline (parent, at run start).
+
+        The tighter of the relative deadline (measured from now) and an
+        armed absolute request deadline wins, so queue wait and resumed
+        runs cannot stretch the workers' allowance.
+        """
+        candidates = []
         if self.deadline_seconds is not None:
-            self._deadline_at.value = time.monotonic() + self.deadline_seconds
+            candidates.append(time.monotonic() + self.deadline_seconds)
+        if self.armed_deadline_at is not None:
+            candidates.append(self.armed_deadline_at)
+        if candidates:
+            self._deadline_at.value = min(candidates)
 
     def publish(self, stats: JoinStats) -> None:
         """Publish the merged totals (parent is the single writer)."""

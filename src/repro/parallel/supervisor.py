@@ -129,6 +129,13 @@ def _worker_main(
                 with send_lock:
                     conn.send(("breach", task_id, kind))
                 continue
+        if spec.deadline_at is not None and time.monotonic() > spec.deadline_at:
+            # The request deadline pickled into the spec has passed:
+            # refuse the task instead of computing a result the parent
+            # is bound to discard (cooperative cancellation).
+            with send_lock:
+                conn.send(("breach", task_id, "deadline"))
+            continue
         try:
             if fault is not None:
                 fault.maybe_fail(task_id)

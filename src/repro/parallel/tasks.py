@@ -73,6 +73,13 @@ class JoinSpec:
     metric: object = None
     partitions_per_axis: Optional[int] = None
     engine: str = "vectorized"
+    #: Absolute request deadline (``time.monotonic()`` timestamp) carried
+    #: to every worker.  Execution-only: it never affects the task
+    #: sequence or the output bytes, it only lets a worker refuse tasks
+    #: whose results the parent would discard.  ``CLOCK_MONOTONIC`` is
+    #: system-wide on Linux, so the pickled timestamp stays meaningful in
+    #: child processes under both ``fork`` and ``spawn``.
+    deadline_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         from repro.core.frontier import resolve_engine  # deferred: heavy import

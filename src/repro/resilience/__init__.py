@@ -15,8 +15,9 @@ VI).  This package turns that ad-hoc fallback into first-class machinery:
   sink offset, counters, in-flight group window) and restarts a killed
   run without losing or duplicating a single link;
 * :mod:`repro.resilience.chaos` — deterministic fault injection
-  (:class:`FlakySink`, :class:`FlakyIndex`, :class:`FlakyWorker`) so
-  tests can prove recovery end-to-end instead of hoping;
+  (:class:`FlakySink`, :class:`FlakyIndex`, :class:`FlakyWorker`, and
+  :class:`OverloadInjector` for serving-layer request storms) so tests
+  can prove recovery end-to-end instead of hoping;
 * :mod:`repro.resilience.vfs` — :class:`TraceFS`, an interposing
   filesystem recording the full durable-operation trace (writes,
   fsyncs, renames) and injecting disk faults (``ENOSPC``, torn writes)
@@ -27,7 +28,13 @@ VI).  This package turns that ad-hoc fallback into first-class machinery:
 """
 
 from repro.resilience.budget import Budget
-from repro.resilience.chaos import FailurePlan, FlakyIndex, FlakySink, FlakyWorker
+from repro.resilience.chaos import (
+    FailurePlan,
+    FlakyIndex,
+    FlakySink,
+    FlakyWorker,
+    OverloadInjector,
+)
 from repro.resilience.checkpoint import CheckpointedJoin, read_journal
 from repro.resilience.crashsim import (
     CrashReport,
@@ -52,6 +59,7 @@ __all__ = [
     "FlakySink",
     "FlakyWorker",
     "Op",
+    "OverloadInjector",
     "RetryingSink",
     "TraceFS",
     "enumerate_crash_states",

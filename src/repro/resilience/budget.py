@@ -51,6 +51,12 @@ class Budget:
     max_groups: Optional[int] = None
     #: Read the deadline clock every this many :meth:`check` calls.
     check_every: int = 64
+    #: Absolute request deadline as a ``time.monotonic()`` timestamp.
+    #: Unlike :attr:`deadline_seconds` it is *not* reset by :meth:`start`,
+    #: so it survives retries, kill-and-resume cycles and pickling to
+    #: worker processes on the same host (CLOCK_MONOTONIC is system-wide
+    #: on Linux).  Set it with :meth:`arm_deadline`.
+    deadline_at: Optional[float] = None
 
     _started_at: Optional[float] = field(default=None, repr=False, compare=False)
     _calls: int = field(default=0, repr=False, compare=False)
@@ -64,14 +70,34 @@ class Budget:
         """Whether any limit is set."""
         return (
             self.deadline_seconds is not None
+            or self.deadline_at is not None
             or self.max_output_bytes is not None
             or self.max_groups is not None
         )
 
     def start(self) -> "Budget":
-        """Start (or restart) the deadline clock; returns ``self``."""
+        """Start (or restart) the deadline clock; returns ``self``.
+
+        Only the *relative* deadline clock restarts; an armed absolute
+        :attr:`deadline_at` keeps binding across restarts.
+        """
         self._started_at = time.monotonic()
         self._calls = 0
+        return self
+
+    def arm_deadline(self, seconds: Optional[float] = None) -> "Budget":
+        """Pin the deadline to an absolute point ``seconds`` from now.
+
+        With no argument, uses :attr:`deadline_seconds`.  After arming,
+        the deadline is measured from *this* moment — queue wait, retries
+        and resumed runs all consume the same allowance — and
+        :meth:`start` cannot extend it.  Returns ``self``.
+        """
+        span = self.deadline_seconds if seconds is None else float(seconds)
+        if span is not None:
+            self.deadline_at = time.monotonic() + span
+            if self.deadline_seconds is None:
+                self.deadline_seconds = span
         return self
 
     def elapsed(self) -> float:
@@ -81,10 +107,39 @@ class Budget:
         return time.monotonic() - self._started_at
 
     def remaining_seconds(self) -> Optional[float]:
-        """Seconds left before the deadline, or ``None`` if unlimited."""
-        if self.deadline_seconds is None:
-            return None
-        return self.deadline_seconds - self.elapsed()
+        """Seconds left before the deadline, or ``None`` if unlimited.
+
+        Composes the relative and absolute deadlines: the tighter bound
+        wins.  Reading it starts the relative clock if needed, so an
+        unstarted budget cannot report a full allowance forever.
+        """
+        remaining: Optional[float] = None
+        if self.deadline_seconds is not None:
+            if self._started_at is None:
+                self.start()
+            remaining = self.deadline_seconds - self.elapsed()
+        if self.deadline_at is not None:
+            absolute = self.deadline_at - time.monotonic()
+            remaining = absolute if remaining is None else min(remaining, absolute)
+        return remaining
+
+    def cap_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """Cap a per-task timeout at the remaining deadline slack.
+
+        This is how a request deadline propagates into
+        :class:`~repro.parallel.supervisor.SupervisorConfig` task
+        timeouts and :class:`~repro.resilience.sinks.RetryingSink` sleep
+        caps: no subordinate wait may outlive the request.  Returns
+        ``timeout`` unchanged when no deadline is set; never returns a
+        negative value.
+        """
+        remaining = self.remaining_seconds()
+        if remaining is None:
+            return timeout
+        remaining = max(0.0, remaining)
+        if timeout is None:
+            return remaining
+        return min(float(timeout), remaining)
 
     def check(self, stats: JoinStats) -> None:
         """Cooperative checkpoint: cheap on the fast path, raises on breach.
@@ -101,7 +156,7 @@ class Budget:
             )
         if self.max_groups is not None and stats.groups_emitted > self.max_groups:
             raise BudgetExceededError("groups", self.max_groups, stats.groups_emitted)
-        if self.deadline_seconds is not None:
+        if self.deadline_seconds is not None or self.deadline_at is not None:
             calls = self._calls
             self._calls = calls + 1
             if calls % self.check_every == 0:
@@ -118,12 +173,24 @@ class Budget:
             )
         if self.max_groups is not None and stats.groups_emitted > self.max_groups:
             raise BudgetExceededError("groups", self.max_groups, stats.groups_emitted)
-        if self.deadline_seconds is not None:
+        if self.deadline_seconds is not None or self.deadline_at is not None:
             self._check_deadline()
 
     def _check_deadline(self) -> None:
         if self._started_at is None:
             self.start()
-        elapsed = self.elapsed()
-        if elapsed > self.deadline_seconds:
-            raise BudgetExceededError("deadline", self.deadline_seconds, elapsed)
+        if self.deadline_at is not None:
+            now = time.monotonic()
+            if now > self.deadline_at:
+                limit = (
+                    self.deadline_seconds
+                    if self.deadline_seconds is not None
+                    else 0.0
+                )
+                raise BudgetExceededError(
+                    "deadline", limit, limit + (now - self.deadline_at)
+                )
+        if self.deadline_seconds is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.deadline_seconds:
+                raise BudgetExceededError("deadline", self.deadline_seconds, elapsed)

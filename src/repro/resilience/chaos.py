@@ -31,7 +31,13 @@ from typing import Iterable, Optional, Sequence
 from repro.core.results import JoinSink
 from repro.index.base import IndexNode, SpatialIndex
 
-__all__ = ["FailurePlan", "FlakySink", "FlakyIndex", "FlakyWorker"]
+__all__ = [
+    "FailurePlan",
+    "FlakySink",
+    "FlakyIndex",
+    "FlakyWorker",
+    "OverloadInjector",
+]
 
 
 class FailurePlan:
@@ -270,3 +276,111 @@ class FlakyIndex:
 
     def __repr__(self) -> str:
         return f"FlakyIndex({self._tree!r}, failures={self.plan.failures})"
+
+
+class OverloadInjector:
+    """Seeded request storms and dependency brownouts for the serving layer.
+
+    Two roles, both deterministic under one seed:
+
+    * :meth:`storm` builds a request storm — typically sized at a
+      multiple of the service's admission capacity — over seeded slices
+      of one base dataset, so every storm request is reproducible
+      offline (the overload gate reruns each admitted request solo and
+      compares bytes).
+    * :meth:`before_execute` is the injection hook the
+      :class:`~repro.service.JoinService` calls as each request starts
+      executing: selected requests stall (a slow dependency browning the
+      service out) or raise a pool/sink failure (tripping the matching
+      circuit breaker).  Decisions are fixed per request id when the
+      storm is built — re-executions misbehave identically.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        slow_every: int = 0,
+        slow_seconds: float = 0.05,
+        fail_at: Iterable[int] = (),
+        failure: str = "pool",
+        sleep=time.sleep,
+    ):
+        if failure not in ("pool", "sink"):
+            raise ValueError(f"failure must be 'pool' or 'sink', got {failure!r}")
+        self.seed = int(seed)
+        self.slow_every = int(slow_every)
+        self.slow_seconds = float(slow_seconds)
+        self.fail_at = frozenset(int(i) for i in fail_at)
+        self.failure = failure
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._decisions: dict[str, tuple[str, float]] = {}
+        #: Injected events, for test assertions: (request_id, kind).
+        self.injected: list[tuple[str, str]] = []
+
+    def storm(
+        self,
+        points,
+        eps: float,
+        requests: int = 32,
+        algorithm: str = "csj",
+        g: int = 10,
+        deadline_seconds: Optional[float] = None,
+        max_output_bytes: Optional[int] = None,
+        min_fraction: float = 0.4,
+    ) -> list:
+        """Build ``requests`` seeded join requests over slices of ``points``.
+
+        Each request joins a contiguous slice (at least ``min_fraction``
+        of the base set) at a jittered query range, so sizes and costs
+        vary the way real traffic does while staying byte-reproducible:
+        request ``i`` of seed ``s`` is always the same join.
+        """
+        from repro.service import JoinRequest  # deferred: no import cycle
+
+        n = len(points)
+        lo = max(2, int(n * min_fraction))
+        out = []
+        for i in range(int(requests)):
+            size = self._rng.randint(lo, n)
+            start = self._rng.randint(0, n - size)
+            request_id = f"storm-{self.seed}-{i}"
+            out.append(
+                JoinRequest(
+                    points=points[start : start + size],
+                    eps=eps * self._rng.uniform(0.8, 1.2),
+                    algorithm=algorithm,
+                    g=g,
+                    deadline_seconds=deadline_seconds,
+                    max_output_bytes=max_output_bytes,
+                    request_id=request_id,
+                )
+            )
+            if i in self.fail_at:
+                self._decisions[request_id] = ("fail", 0.0)
+            elif self.slow_every and i % self.slow_every == self.slow_every - 1:
+                self._decisions[request_id] = ("slow", self.slow_seconds)
+        return out
+
+    def before_execute(self, request_id: Optional[str]) -> None:
+        """Injection hook: stall or fail this request, per the plan."""
+        decision = self._decisions.get(request_id or "")
+        if decision is None:
+            return
+        kind, value = decision
+        if kind == "slow":
+            self.injected.append((request_id, "slow"))
+            self._sleep(value)
+            return
+        self.injected.append((request_id, f"fail-{self.failure}"))
+        if self.failure == "pool":
+            from repro.errors import WorkerPoolError
+
+            raise WorkerPoolError(
+                f"injected worker-pool failure (chaos, request {request_id})"
+            )
+        from repro.errors import SinkIOError
+
+        raise SinkIOError(
+            f"injected sink failure (chaos, request {request_id})"
+        )

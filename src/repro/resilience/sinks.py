@@ -152,7 +152,11 @@ class RetryingSink(JoinSink):
     single ``_attempt`` may accumulate sleeping, and ``budget`` (a
     :class:`~repro.resilience.budget.Budget` with a deadline) trims every
     pause to the deadline's remaining seconds — once nothing remains,
-    the sink gives up immediately instead of sleeping through it.
+    the sink gives up immediately instead of sleeping through it.  The
+    budget's *composed* deadline applies: an absolute request deadline
+    armed with :meth:`~repro.resilience.budget.Budget.arm_deadline`
+    binds even when the relative clock was restarted, so a late retry
+    can never sleep past the request deadline.
 
     ``sleep`` is injectable so tests (and the chaos harness) run at full
     speed.  Retrying re-invokes the inner sink's public method, which is

@@ -1,0 +1,28 @@
+"""Overload-resilient join serving.
+
+The serving layer wraps the join library with the mechanisms a system
+under real traffic needs: bounded admission with backpressure, absolute
+per-request deadlines that propagate to every subordinate wait, circuit
+breakers around the worker pool and sinks, and a brownout ladder that
+degrades to the paper's analytic estimator before it sheds.  See
+:mod:`repro.service.service` for the full contract and DESIGN.md
+("Admission control & brownout ladder") for the state diagram.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.service import (
+    OUTCOMES,
+    JoinRequest,
+    JoinService,
+    RequestOutcome,
+    ServiceConfig,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "JoinRequest",
+    "JoinService",
+    "RequestOutcome",
+    "ServiceConfig",
+    "OUTCOMES",
+]

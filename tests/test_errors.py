@@ -152,3 +152,83 @@ class TestApiBoundary:
         pts = np.random.default_rng(0).random((30, 2))
         tree = build_index(pts)
         assert build_index(pts, tree) is tree
+
+
+class TestExitCodeRegistry:
+    """`repro.errors.EXIT_CODES` is the single source of truth.
+
+    The CLI docstring, `scripts/chaos_demo.py` and the DESIGN.md failure
+    table all cite exit codes; these tests keep every citation in
+    agreement with the registry, so a new code cannot be added in one
+    place only.
+    """
+
+    def _registry(self):
+        from repro.errors import EXIT_CODES
+
+        return EXIT_CODES
+
+    def test_registry_complete_and_self_consistent(self):
+        from repro.errors import EXIT_CODES, ReproError, exit_code_registry
+
+        assert exit_code_registry() == EXIT_CODES
+        assert sorted(EXIT_CODES) == list(range(1, 11))
+        for code, cls in EXIT_CODES.items():
+            assert cls.exit_code == code
+            assert issubclass(cls, ReproError)
+        # Codes are distinct per class (the registry is a bijection).
+        assert len({cls for cls in EXIT_CODES.values()}) == len(EXIT_CODES)
+
+    def test_new_serving_codes(self):
+        from repro.errors import AdmissionRejectedError, CircuitOpenError
+
+        shed = AdmissionRejectedError(4, retry_after=1.5)
+        assert shed.exit_code == 9
+        assert shed.queue_depth == 4
+        assert shed.retry_after == 1.5
+        assert "retry" in str(shed).lower()
+        open_ = CircuitOpenError("worker-pool", retry_after=0.25)
+        assert open_.exit_code == 10
+        assert open_.component == "worker-pool"
+        assert "worker-pool" in str(open_)
+
+    def test_cli_docstring_agrees(self):
+        import re
+
+        from repro import cli
+
+        doc = cli.main.__doc__
+        cited = {int(m) for m in re.findall(r"\b(\d+)\b", doc)}
+        assert cited == set(self._registry())
+
+    def test_design_table_agrees(self):
+        import re
+        from pathlib import Path
+
+        text = (Path(__file__).resolve().parent.parent / "DESIGN.md").read_text()
+        rows = re.findall(
+            r"^\|[^|]+\|\s*`(\w+)`(?:\s*\(`\w+`\))?\s*\|\s*(\d+)\s*\|",
+            text,
+            flags=re.MULTILINE,
+        )
+        table = {int(code): name for name, code in rows}
+        registry = self._registry()
+        # Every documented row names the registered class for its code...
+        for code, name in table.items():
+            assert registry[code].__name__ == name, (code, name)
+        # ...and every nonzero failure code except the catch-all base
+        # class (exit 1, undocumented by design) has a row.
+        assert set(table) == set(registry) - {1}
+
+    def test_chaos_demo_agrees(self):
+        import re
+        from pathlib import Path
+
+        src = (
+            Path(__file__).resolve().parent.parent / "scripts" / "chaos_demo.py"
+        ).read_text()
+        cited = {
+            int(m) for m in re.findall(r"exit(?:\s+code)?\s+(\d+)", src)
+        }
+        assert cited  # the demo does cite codes
+        assert cited <= set(self._registry())

@@ -226,3 +226,56 @@ class TestRetryingSink:
     def test_rejects_negative_retry_budget(self):
         with pytest.raises(ValueError):
             RetryingSink(CollectSink(id_width=4), max_retries=-1)
+
+
+class TestDeadlineCappedRetries:
+    """Regression: a 50 ms request deadline must bound total retry sleep.
+
+    Before the budget's composed-deadline fix, an *unstarted* budget
+    reported its full allowance forever, so each of N retries could
+    sleep the whole deadline again (N x 50 ms).  The wall-clock bound
+    below fails under that behaviour and passes with the fix.
+    """
+
+    def test_50ms_deadline_bounds_wall_clock(self):
+        import time as _time
+
+        from repro.resilience.budget import Budget
+
+        # Never started by the caller: the sink's own reads must arm it.
+        budget = Budget(deadline_seconds=0.05)
+        sink = RetryingSink(
+            _FailNTimesSink(99, id_width=4),
+            max_retries=8,
+            base_delay=10.0,  # would sleep ~10 s per retry if uncapped
+            max_delay=10.0,
+            jitter=False,
+            budget=budget,
+        )
+        started = _time.monotonic()
+        with pytest.raises(SinkIOError):
+            sink.write_link(1, 2)
+        elapsed = _time.monotonic() - started
+        # One deadline's worth of sleeping, not one per retry.
+        assert elapsed < 0.05 * 3 + 0.1
+
+    def test_armed_absolute_deadline_bounds_after_restart(self):
+        import time as _time
+
+        from repro.resilience.budget import Budget
+
+        budget = Budget(check_every=1)
+        budget.arm_deadline(0.05)
+        budget.start()  # a retry loop restarting the relative clock
+        sink = RetryingSink(
+            _FailNTimesSink(99, id_width=4),
+            max_retries=8,
+            base_delay=10.0,
+            max_delay=10.0,
+            jitter=False,
+            budget=budget,
+        )
+        started = _time.monotonic()
+        with pytest.raises(SinkIOError):
+            sink.write_link(1, 2)
+        assert _time.monotonic() - started < 0.05 * 3 + 0.1
