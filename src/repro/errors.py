@@ -218,6 +218,10 @@ class AdmissionRejectedError(ReproError):
         self.queue_depth = int(queue_depth)
         #: Suggested wait before resubmitting, in seconds (``Retry-After``).
         self.retry_after = float(retry_after)
+        #: The serving layer's ``RequestOutcome`` for this rejection,
+        #: attached by ``JoinService.submit`` so batch callers get the
+        #: exact outcome object without scanning the audit trail.
+        self.outcome = None
         super().__init__(
             message
             or (
@@ -247,6 +251,10 @@ class CircuitOpenError(ReproError):
         self.component = str(component)
         #: Remaining cooldown before a half-open probe, in seconds.
         self.retry_after = float(retry_after)
+        #: The serving layer's ``RequestOutcome`` for this rejection,
+        #: attached by ``JoinService.submit`` (``None`` when raised
+        #: outside the serving layer, e.g. by the scheduler's gate).
+        self.outcome = None
         super().__init__(
             message
             or (

@@ -53,6 +53,31 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 )
 
 
+def _labelled(name: str, labels: Optional[dict]) -> str:
+    """Canonical registry key for a labelled metric.
+
+    One formatting path for every labelled series: label pairs are
+    sorted, values escaped per the Prometheus text format, and the
+    result is ``name{key="value",...}`` — the shape
+    :meth:`MetricsRegistry.to_prometheus` groups into one metric family
+    per base name.  Callers pass ``labels=`` instead of hand-building
+    the brace syntax.
+    """
+    if not labels:
+        return name
+    pairs = ",".join(
+        '{}="{}"'.format(
+            key,
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"),
+        )
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{pairs}}}"
+
+
 class Counter:
     """Monotonically increasing counter."""
 
@@ -146,16 +171,26 @@ class MetricsRegistry:
                 )
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(
+        self, name: str, help: str = "", labels: Optional[dict] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, _labelled(name, labels), help)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[dict] = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, _labelled(name, labels), help)
 
     def histogram(
-        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[dict] = None,
     ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        return self._get_or_create(
+            Histogram, _labelled(name, labels), help, buckets=buckets
+        )
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
@@ -247,12 +282,14 @@ class MetricsRegistry:
         """Export a circuit breaker's state (0 closed, 1 half-open, 2 open)."""
         value = {"closed": 0, "half_open": 1, "open": 2}.get(state, -1)
         self.gauge(
-            f'repro_service_breaker_state{{breaker="{name}"}}',
+            "repro_service_breaker_state",
             "Circuit state: 0 closed, 1 half-open, 2 open",
+            labels={"breaker": name},
         ).set(value)
         self.counter(
-            f'repro_service_breaker_transitions_total{{breaker="{name}",to="{state}"}}',
+            "repro_service_breaker_transitions_total",
             "Circuit breaker state transitions",
+            labels={"breaker": name, "to": state},
         ).inc()
 
     # ------------------------------------------------------------------
@@ -283,7 +320,8 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """The snapshot in the Prometheus text exposition format.
 
-        Labelled metrics (registered under names like
+        Labelled metrics (registered through the ``labels=`` argument,
+        stored under canonical keys like
         ``repro_sink_errno_total{errno="enospc"}``) share one metric
         family: ``HELP``/``TYPE`` are emitted once per base name, and
         each labelled sample on its own line — exactly how a Prometheus

@@ -116,6 +116,9 @@ class WorkScheduler:
         self.speculated: int = 0
         self.speculation_wins: int = 0
         self._spec_wids: dict[int, int] = {}  # task_id -> speculative worker
+        #: Whether a worker death already recorded a breaker failure
+        #: this run (guards against double-counting one incident).
+        self._breaker_fed = False
 
     # ------------------------------------------------------------------
     # Main loop
@@ -126,10 +129,20 @@ class WorkScheduler:
         ``on_task_merged(cursor)`` fires after each task's delta lands in
         the sink (cursor = tasks merged so far) — the checkpoint hook.
         """
-        if self.breaker is not None and not self.breaker.allow():
-            raise CircuitOpenError(
-                "worker-pool", retry_after=self.breaker.retry_after()
-            )
+        if self.breaker is not None:
+            # Health check only: when the serving layer drives this run
+            # it already holds the half-open probe slot, so the entry
+            # gate must refuse an open circuit without consuming a
+            # second probe (a duck-typed breaker without the ``consume``
+            # keyword keeps the consuming behaviour).
+            try:
+                allowed = self.breaker.allow(consume=False)
+            except TypeError:
+                allowed = self.breaker.allow()
+            if not allowed:
+                raise CircuitOpenError(
+                    "worker-pool", retry_after=self.breaker.retry_after()
+                )
         if self.budget is not None:
             self.budget.start()
         if self.merged >= self._n:
@@ -189,7 +202,11 @@ class WorkScheduler:
                         "worker pool is empty with tasks outstanding"
                     )
         except WorkerPoolError:
-            if self.breaker is not None:
+            # Worker deaths already fed the breaker one failure each via
+            # _on_worker_died/_on_worker_killed; only a death-free pool
+            # error (e.g. a spawn or initialisation failure) is a fresh
+            # incident to count.
+            if self.breaker is not None and not self._breaker_fed:
                 self.breaker.record_failure()
             raise
         finally:
@@ -380,6 +397,7 @@ class WorkScheduler:
         task_id = handle.current
         if self.breaker is not None:
             self.breaker.record_failure()
+            self._breaker_fed = True
         if task_id is not None:
             self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
             self._record_failure(
@@ -392,6 +410,7 @@ class WorkScheduler:
         task_id = handle.current
         if self.breaker is not None:
             self.breaker.record_failure()
+            self._breaker_fed = True
         if task_id is not None:
             self._in_flight[task_id] = max(0, self._in_flight.get(task_id, 1) - 1)
             self._record_failure(task_id, reason)

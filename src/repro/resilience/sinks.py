@@ -219,8 +219,9 @@ class RetryingSink(JoinSink):
                 raise  # already final: do not re-wrap or re-retry
             except OSError as exc:
                 get_registry().counter(
-                    f'repro_sink_errno_total{{errno="{errno_name(getattr(exc, "errno", None))}"}}',
+                    "repro_sink_errno_total",
                     "Sink write OSErrors by errno",
+                    labels={"errno": errno_name(getattr(exc, "errno", None))},
                 ).inc()
                 if is_disk_full(exc):
                     # No backoff schedule fixes a full or read-only disk:

@@ -94,30 +94,50 @@ class CircuitBreaker:
         with self._lock:
             return self._state
 
-    def allow(self) -> bool:
+    def allow(self, consume: bool = True) -> bool:
         """Whether a call may proceed now.
 
         In the half-open state each ``True`` consumes one probe slot, so
         at most ``half_open_probes`` callers hit the dependency while
-        its health is still in question.
+        its health is still in question.  ``consume=False`` is a pure
+        health check — it refuses an open circuit (and still drives the
+        open → half-open transition once the cooldown expires) but never
+        burns a probe slot; use it when the caller already holds the
+        probe for this piece of work (the scheduler's entry gate under
+        the serving layer).
         """
         with self._lock:
-            if self._state == "closed":
-                return True
-            if self._state == "open":
-                if (
-                    self._reopen_at is not None
-                    and self._clock() >= self._reopen_at
-                ):
-                    self._transition("half_open")
-                    self._probes_left = self.half_open_probes
-                else:
-                    return False
-            # half-open: admit while probe slots remain
-            if self._probes_left > 0:
-                self._probes_left -= 1
-                return True
-            return False
+            return self._admit(consume)[0]
+
+    def acquire(self) -> tuple[bool, bool]:
+        """Like :meth:`allow`, but also reports probe consumption.
+
+        Returns ``(allowed, consumed_probe)``.  A caller that receives
+        ``consumed_probe=True`` owns a half-open probe slot and must
+        resolve it on *every* terminal path: :meth:`record_success` or
+        :meth:`record_failure` when the guarded dependency was actually
+        exercised, :meth:`release_probe` otherwise.  Leaking the slot
+        would wedge the circuit half-open with no probes left — nothing
+        could ever close it again.
+        """
+        with self._lock:
+            return self._admit(True)
+
+    def release_probe(self) -> None:
+        """Return an unused half-open probe slot without a health signal.
+
+        For callers that consumed a probe via :meth:`acquire` but ended
+        up not exercising the guarded dependency (the request degraded,
+        failed validation, or was shed at shutdown).  A no-op unless the
+        circuit is still half-open — after ``record_success`` /
+        ``record_failure`` moved it on, the slot accounting was already
+        reset by the transition.
+        """
+        with self._lock:
+            if self._state == "half_open":
+                self._probes_left = min(
+                    self.half_open_probes, self._probes_left + 1
+                )
 
     def record_success(self) -> None:
         """A guarded call succeeded: close the circuit, reset the budget."""
@@ -139,11 +159,20 @@ class CircuitBreaker:
                 self._open()
 
     def retry_after(self) -> float:
-        """Seconds until the next half-open probe window (0 when closed)."""
+        """Suggested wait in seconds before retrying (0 when closed).
+
+        While *open* this is the remaining cooldown before the next
+        half-open probe window.  While *half-open with every probe slot
+        taken* it is roughly one cooldown — the probes' verdict is still
+        pending, so shed clients must not be told to hammer the
+        dependency again immediately.
+        """
         with self._lock:
-            if self._state != "open" or self._reopen_at is None:
-                return 0.0
-            return max(0.0, self._reopen_at - self._clock())
+            if self._state == "open" and self._reopen_at is not None:
+                return max(0.0, self._reopen_at - self._clock())
+            if self._state == "half_open" and self._probes_left <= 0:
+                return self._cooldown
+            return 0.0
 
     def call(self, fn: Callable, *args: object, **kwargs: object):
         """Run ``fn`` through the breaker.
@@ -165,6 +194,26 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     # Internals (lock held)
     # ------------------------------------------------------------------
+    def _admit(self, consume: bool) -> tuple[bool, bool]:
+        if self._state == "closed":
+            return True, False
+        if self._state == "open":
+            if (
+                self._reopen_at is not None
+                and self._clock() >= self._reopen_at
+            ):
+                self._transition("half_open")
+                self._probes_left = self.half_open_probes
+            else:
+                return False, False
+        # half-open: admit while probe slots remain
+        if not consume:
+            return True, False
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True, True
+        return False, False
+
     def _open(self) -> None:
         # Decorrelated jitter: cooldown ~ U(base, 3 * previous), capped.
         self._cooldown = min(

@@ -42,7 +42,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -197,10 +197,6 @@ class JoinService:
             failure_threshold=self.config.breaker_threshold,
             cooldown_base=self.config.breaker_cooldown_base,
             cooldown_max=self.config.breaker_cooldown_max,
-            # A parallel request passes two consuming gates (admission
-            # and the scheduler's entry check), so the half-open probe
-            # budget must cover both for one probe request to run.
-            half_open_probes=2 if self.config.workers > 1 else 1,
             seed=self.config.seed,
         )
         self.sink_breaker = CircuitBreaker(
@@ -211,7 +207,12 @@ class JoinService:
             seed=self.config.seed + 1,
         )
         self._lock = threading.Lock()
-        self._queue: deque[tuple[JoinRequest, _Ticket, Budget, float]] = deque()
+        #: Entries are ``(request, ticket, budget, occupancy, probe)``;
+        #: ``probe`` marks a half-open slot consumed at admission that
+        #: must be resolved on every terminal path of the request.
+        self._queue: deque[
+            tuple[JoinRequest, _Ticket, Budget, float, bool]
+        ] = deque()
         self._available = threading.Semaphore(0)
         self._closed = False
         self._seq = 0
@@ -263,13 +264,16 @@ class JoinService:
                     retry_after=retry,
                     occupancy=occupancy,
                 )
+                outcome.error.outcome = outcome
                 self._record(outcome, registry)
                 raise outcome.error
 
             # After the queue check so a shed request never burns a
-            # half-open probe slot; ``allow`` drives open -> half_open
-            # once the cooldown expires, letting probes back in.
-            if not self.pool_breaker.allow():
+            # half-open probe slot; ``acquire`` drives open -> half_open
+            # once the cooldown expires and reports whether this request
+            # now owns the probe slot it must later resolve.
+            allowed, probe = self.pool_breaker.acquire()
+            if not allowed:
                 retry = self.pool_breaker.retry_after()
                 outcome = RequestOutcome(
                     request.request_id,
@@ -278,6 +282,7 @@ class JoinService:
                     retry_after=retry,
                     occupancy=occupancy,
                 )
+                outcome.error.outcome = outcome
                 self._record(outcome, registry)
                 raise outcome.error
 
@@ -293,7 +298,7 @@ class JoinService:
                 # Absolute, armed at admission: queue wait spends it.
                 budget.arm_deadline(deadline)
             ticket = _Ticket()
-            self._queue.append((request, ticket, budget, occupancy))
+            self._queue.append((request, ticket, budget, occupancy, probe))
             self.peak_queue = max(self.peak_queue, len(self._queue))
             registry.service_pressure(
                 len(self._queue), self.config.queue_depth, None
@@ -306,27 +311,19 @@ class JoinService:
 
         Returns one outcome per request, in input order.
         """
-        entries: list[tuple[JoinRequest, Optional[_Ticket]]] = []
+        entries: list[Union[_Ticket, RequestOutcome]] = []
         for request in requests:
             try:
-                entries.append((request, self.submit(request)))
-            except (AdmissionRejectedError, CircuitOpenError):
-                # submit() already recorded the typed outcome.
-                entries.append((request, None))
-        out = []
-        for request, ticket in entries:
-            if ticket is not None:
-                out.append(ticket.wait())
-            else:
-                with self._lock:
-                    out.append(
-                        next(
-                            o
-                            for o in reversed(self.outcomes)
-                            if o.request_id == request.request_id
-                        )
-                    )
-        return out
+                entries.append(self.submit(request))
+            except (AdmissionRejectedError, CircuitOpenError) as exc:
+                # submit() recorded the typed outcome and attached it to
+                # the exception — no audit-trail scan, so caller-supplied
+                # duplicate request ids cannot alias outcomes.
+                entries.append(exc.outcome)
+        return [
+            entry.wait() if isinstance(entry, _Ticket) else entry
+            for entry in entries
+        ]
 
     # ------------------------------------------------------------------
     # Execution
@@ -339,7 +336,7 @@ class JoinService:
                     return
                 if not self._queue:
                     continue
-                request, ticket, budget, occupancy = self._queue.popleft()
+                request, ticket, budget, occupancy, probe = self._queue.popleft()
                 queue_len = len(self._queue)
                 pressure = queue_len / self.config.queue_depth
             started = time.perf_counter()
@@ -349,6 +346,15 @@ class JoinService:
                 outcome = RequestOutcome(
                     request.request_id, "failed", error=exc, occupancy=occupancy
                 )
+            if probe:
+                # This request owned the half-open probe slot.  If it
+                # actually exercised the pool, record_success /
+                # record_failure already moved the breaker out of
+                # half-open and this release is a no-op; on every other
+                # terminal path (degraded, budget breach, sink failure,
+                # failed) the slot is returned so the circuit can never
+                # wedge half-open with zero probes left.
+                self.pool_breaker.release_probe()
             elapsed = time.perf_counter() - started
             with self._lock:
                 self._ewma_service = 0.8 * self._ewma_service + 0.2 * elapsed
@@ -558,7 +564,9 @@ class JoinService:
             if not drain:
                 registry = get_registry()
                 while self._queue:
-                    request, ticket, _, occupancy = self._queue.popleft()
+                    request, ticket, _, occupancy, probe = self._queue.popleft()
+                    if probe:
+                        self.pool_breaker.release_probe()
                     outcome = RequestOutcome(
                         request.request_id,
                         "shed",

@@ -160,6 +160,48 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker("t", half_open_probes=0)
 
+    def test_acquire_reports_probe_and_release_returns_slot(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "t", failure_threshold=1, cooldown_base=1.0, clock=clock
+        )
+        assert br.acquire() == (True, False)  # closed: no probe consumed
+        br.record_failure()
+        assert br.acquire() == (False, False)  # open and cooling
+        clock.advance(100.0)
+        assert br.acquire() == (True, True)  # the half-open probe slot
+        assert br.state == "half_open"
+        assert not br.allow()  # slot taken
+        br.release_probe()
+        assert br.allow()  # slot returned, consumable again
+
+    def test_allow_non_consuming_health_check(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "t", failure_threshold=1, cooldown_base=1.0, clock=clock
+        )
+        assert br.allow(consume=False)
+        br.record_failure()
+        assert not br.allow(consume=False)  # open, cooling
+        clock.advance(100.0)
+        assert br.allow(consume=False)  # drives half-open, burns nothing
+        assert br.state == "half_open"
+        assert br.acquire() == (True, True)  # slot still available
+
+    def test_retry_after_positive_while_probes_in_flight(self):
+        # A rejection issued half-open (probes exhausted) must not hint
+        # "retry immediately" — that is the retry storm the breaker
+        # exists to prevent.
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "t", failure_threshold=1, cooldown_base=1.0, clock=clock
+        )
+        br.record_failure()
+        clock.advance(100.0)
+        assert br.allow()  # consume the only probe
+        assert not br.allow()
+        assert br.retry_after() > 0.0
+
 
 class TestAdmission:
     def test_bounded_queue_sheds_with_retry_after(self, pts):
@@ -348,6 +390,36 @@ class TestBreakerIntegration:
         finally:
             svc.close()
 
+    def test_degraded_probe_request_does_not_wedge_breaker(self, pts):
+        # Regression: the half-open probe slot consumed at admission
+        # used to leak when the admitted request then degraded without
+        # touching the pool, wedging the circuit half-open with zero
+        # probes — every later submit failed until process restart.
+        chaos = OverloadInjector(seed=1, fail_at=(0,), failure="pool")
+        svc = _service(
+            chaos=chaos,
+            breaker_threshold=1,
+            breaker_cooldown_base=0.01,
+            breaker_cooldown_max=0.05,
+        )
+        try:
+            requests = chaos.storm(pts, 0.05, requests=1)
+            svc.submit(requests[0]).wait(10.0)
+            assert svc.pool_breaker.state == "open"
+            time.sleep(0.2)  # next submit consumes the half-open probe
+            degraded = svc.submit(
+                JoinRequest(points=pts, eps=0.05, deadline_seconds=1e-6)
+            ).wait(10.0)
+            assert degraded.status == "degraded"  # never reached the pool
+            assert svc.pool_breaker.state == "half_open"
+            # The slot was released, so the next request can still probe
+            # and close the circuit.
+            outcome = svc.submit(JoinRequest(points=pts, eps=0.05)).wait(10.0)
+            assert outcome.status == "admitted"
+            assert svc.pool_breaker.state == "closed"
+        finally:
+            svc.close()
+
     def test_breaker_recovers_after_cooldown(self, pts):
         chaos = OverloadInjector(seed=1, fail_at=(0,), failure="pool")
         svc = _service(
@@ -404,6 +476,36 @@ class TestOutcomePartition:
             not np.array_equal(ra.points, rc.points) for ra, rc in zip(a, c)
         )
 
+    def test_serve_duplicate_request_ids_keeps_outcomes_straight(self, pts):
+        # Regression: serve() used to recover shed outcomes by scanning
+        # the audit trail for the first matching request id; with
+        # caller-supplied duplicate ids the wrong request's outcome came
+        # back.  The outcome now rides on the rejection exception.
+        release = threading.Event()
+        executing = threading.Event()
+
+        class Stall:
+            def before_execute(self, request_id):
+                executing.set()
+                release.wait(timeout=10.0)
+
+        svc = _service(chaos=Stall(), queue_depth=1)
+        try:
+            svc.submit(JoinRequest(points=pts, eps=0.05, request_id="dup"))
+            assert executing.wait(10.0)
+            # Room for exactly one more "dup"; the second in the batch
+            # sheds while its twin later finishes admitted.
+            batch = [
+                JoinRequest(points=pts, eps=0.05, request_id="dup"),
+                JoinRequest(points=pts, eps=0.05, request_id="dup"),
+            ]
+            threading.Timer(0.1, release.set).start()
+            outcomes = svc.serve(batch)
+        finally:
+            release.set()
+            svc.close()
+        assert [o.status for o in outcomes] == ["admitted", "shed"]
+
     def test_failed_outcome_for_invalid_algorithm(self, pts):
         svc = _service()
         try:
@@ -439,6 +541,11 @@ class TestMetricsSurface:
         snap = get_registry().snapshot()
         assert "repro_service_queue_depth" in snap
         assert "repro_service_queue_limit" in snap
+
+    def test_labels_argument_builds_canonical_keys(self):
+        registry = get_registry()
+        registry.counter("demo_total", "demo", labels={"b": "x", "a": "y"}).inc()
+        assert get_registry().snapshot()['demo_total{a="y",b="x"}'] == 1
 
     def test_breaker_transition_metrics(self):
         br = CircuitBreaker("demo", failure_threshold=1)
