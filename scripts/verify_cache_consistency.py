@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Cache-consistency gate: caching must never change a single byte.
+
+Drives the serving layer through a repeat-heavy workload interleaved
+with dataset churn (point inserts/deletes through the incremental
+maintenance layer) twice — once with the ε-keyed result cache enabled,
+once without — and verifies the caching contract:
+
+* **byte-identical serving** — every admitted answer from the cached
+  service equals the uncached service's answer *and* an offline rerun:
+  same links, groups and byte count, for every dataset state;
+* **hits skip the descent** — the cached service ends the workload with
+  strictly fewer distance computations than the uncached one, and its
+  ``repro_cache_hits_total`` matches the expected repeat count;
+* **hit-rate floor** — hits / (hits + misses) must reach ``--min-hit-rate``
+  (the workload repeats each unique request, so a healthy cache hits on
+  every repeat);
+* **churn invalidates honestly** — after updates change the dataset
+  fingerprint, the stale state is never served as fresh: the first
+  request against the new state is a miss, and the incrementally
+  maintained join it is checked against stays expansion-equivalent to
+  brute force;
+* **budgets hold** — cache occupancy respects the byte budget
+  throughout, and an invalidated entry downgrades to a stale-marked
+  brownout answer rather than a fresh hit.
+
+Exit 0 when every check passes, 1 otherwise.  ``--json`` writes the
+full report for CI artifact upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/verify_cache_consistency.py
+        [--n 400] [--seed 0] [--repeats 4] [--churn 40]
+        [--min-hit-rate 0.6] [--json report.json]
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.api import maintained_join, similarity_join
+from repro.core.bruteforce import brute_force_links
+from repro.obs.metrics import get_registry, reset_registry
+from repro.service import JoinRequest, JoinService, ServiceConfig
+
+
+def check(report, name, ok, detail=""):
+    report["checks"].append({"name": name, "ok": bool(ok), "detail": detail})
+    print(f"  {'ok  ' if ok else 'FAIL'} {name}" + (f"  ({detail})" if detail else ""))
+    return bool(ok)
+
+
+def result_signature(result):
+    """The byte-identity projection of a join result."""
+    return (
+        sorted(result.links),
+        sorted(tuple(ids) for ids in result.groups),
+        result.output_bytes,
+    )
+
+
+def build_workload(args):
+    """Dataset states (via churn) and the request sequence over them.
+
+    Returns ``(states, sequence)``: each state is a point array, each
+    sequence item ``(state_index, eps, g)``.  Every unique combination
+    appears ``--repeats`` times so a healthy cache hits on all repeats.
+    """
+    rng = np.random.default_rng(args.seed)
+    pts = rng.random((args.n, 2))
+
+    # Churn the dataset through the maintenance layer to produce the
+    # second state; verify the maintained join against brute force on
+    # the way (the cache key's fingerprint must track these updates).
+    maintained = maintained_join(pts, eps=args.eps, g=10)
+    for step in range(args.churn):
+        if step % 2 == 0:
+            live = maintained.live_ids()
+            maintained.delete(live[int(rng.integers(len(live)))])
+        else:
+            maintained.insert(rng.random(2))
+    live = maintained.live_ids()
+    churned = np.ascontiguousarray(
+        maintained.tree.points[np.asarray(live, dtype=np.intp)]
+    )
+
+    expected = {
+        tuple(sorted((live.index(i), live.index(j))))
+        for i, j in maintained.expanded_links()
+    }
+    churn_ok = expected == brute_force_links(churned, args.eps)
+
+    states = [pts, churned]
+    combos = [
+        (0, args.eps, 10),
+        (0, args.eps * 2, 10),
+        (0, args.eps, 0),
+        (1, args.eps, 10),
+        (1, args.eps * 2, 10),
+    ]
+    sequence = [combo for combo in combos for _ in range(args.repeats)]
+    return states, combos, sequence, churn_ok
+
+
+def run_service(states, sequence, cache_bytes):
+    """Serve the whole sequence; returns (answers, metrics snapshot, cache)."""
+    reset_registry()
+    service = JoinService(
+        ServiceConfig(queue_depth=8, cache_bytes=cache_bytes)
+    )
+    answers = []
+    try:
+        for state_idx, eps, g in sequence:
+            outcome = service.submit(
+                JoinRequest(points=states[state_idx], eps=eps, g=g)
+            ).wait(60.0)
+            answers.append(outcome)
+        cache = service.cache
+        bytes_used = cache.bytes_used if cache is not None else 0
+        max_bytes = cache.max_bytes if cache is not None else 0
+    finally:
+        service.close()
+    return answers, get_registry().snapshot(), bytes_used, max_bytes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=400)
+    parser.add_argument("--eps", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=4)
+    parser.add_argument("--churn", type=int, default=40)
+    parser.add_argument("--min-hit-rate", type=float, default=0.6)
+    parser.add_argument("--cache-bytes", type=int, default=1 << 20)
+    parser.add_argument("--json", dest="json_path", default=None)
+    args = parser.parse_args()
+
+    report = {"args": vars(args).copy(), "checks": []}
+    ok = True
+
+    print("cache-consistency gate")
+    states, combos, sequence, churn_ok = build_workload(args)
+    ok &= check(
+        report,
+        "churned maintained join is expansion-equivalent to brute force",
+        churn_ok,
+        f"{args.churn} updates",
+    )
+
+    # Offline ground truth, one cold run per unique request.
+    truth = {
+        (idx, eps, g): result_signature(
+            similarity_join(states[idx], eps, algorithm="csj", g=g)
+        )
+        for idx, eps, g in combos
+    }
+
+    cached, cached_snap, bytes_used, max_bytes = run_service(
+        states, sequence, cache_bytes=args.cache_bytes
+    )
+    uncached, uncached_snap, _, _ = run_service(states, sequence, cache_bytes=0)
+
+    all_admitted = all(o.status == "admitted" for o in cached + uncached)
+    ok &= check(report, "every request admitted", all_admitted)
+
+    identical = 0
+    for (idx_eps_g, a, b) in zip(sequence, cached, uncached):
+        sig_a = result_signature(a.result)
+        sig_b = result_signature(b.result)
+        if sig_a == sig_b == truth[idx_eps_g]:
+            identical += 1
+    ok &= check(
+        report,
+        "cache-on answers byte-identical to cache-off and offline",
+        identical == len(sequence),
+        f"{identical}/{len(sequence)} requests",
+    )
+
+    hits = cached_snap.get("repro_cache_hits_total", 0)
+    misses = cached_snap.get("repro_cache_misses_total", 0)
+    expected_hits = len(sequence) - len(combos)
+    ok &= check(
+        report,
+        "every repeat hits the cache",
+        hits == expected_hits and misses == len(combos),
+        f"hits={hits} misses={misses} expected={expected_hits}/{len(combos)}",
+    )
+    rate = hits / max(1, hits + misses)
+    report["hit_rate"] = rate
+    ok &= check(
+        report,
+        f"hit rate >= {args.min_hit_rate}",
+        rate >= args.min_hit_rate,
+        f"{rate:.3f}",
+    )
+
+    descents_on = cached_snap.get("repro_join_distance_computations_total", 0)
+    descents_off = uncached_snap.get("repro_join_distance_computations_total", 0)
+    ok &= check(
+        report,
+        "cache hits skip the tree descent",
+        0 < descents_on < descents_off,
+        f"distance computations {descents_on} vs {descents_off}",
+    )
+    ok &= check(
+        report,
+        "uncached service never counts cache traffic",
+        uncached_snap.get("repro_cache_hits_total", 0) == 0
+        and uncached_snap.get("repro_cache_misses_total", 0) == 0,
+    )
+    ok &= check(
+        report,
+        "cache occupancy within byte budget",
+        0 < bytes_used <= max_bytes,
+        f"{bytes_used}/{max_bytes} bytes",
+    )
+
+    # Invalidation: the stale entry must stop exact-hitting and may only
+    # come back stale-marked through the brownout ladder.
+    reset_registry()
+    service = JoinService(ServiceConfig(queue_depth=8, cache_bytes=args.cache_bytes))
+    try:
+        fresh = service.submit(
+            JoinRequest(points=states[0], eps=args.eps, g=10)
+        ).wait(60.0)
+        service.cache.invalidate()
+        stale = service.submit(
+            JoinRequest(points=states[0], eps=args.eps, g=10, deadline_seconds=1e-9)
+        ).wait(60.0)
+    finally:
+        service.close()
+    ok &= check(
+        report,
+        "invalidated entry serves only as stale-marked brownout answer",
+        fresh.status == "admitted"
+        and stale.status == "degraded"
+        and stale.result.stale
+        and not stale.result.estimated
+        and result_signature(stale.result) == result_signature(fresh.result),
+        f"fresh={fresh.status} stale={stale.status}",
+    )
+
+    report["ok"] = bool(ok)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json_path}")
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,14 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record.
 """
 
-from repro.api import build_index, open_service, similarity_join, spatial_join_datasets
+from repro.api import (
+    build_index,
+    maintained_join,
+    open_service,
+    similarity_join,
+    spatial_join_datasets,
+)
+from repro.dynamic import MaintainedJoin
 from repro.core import (
     CallbackSink,
     CollectSink,
@@ -90,6 +97,7 @@ from repro.service import (
     JoinRequest,
     JoinService,
     RequestOutcome,
+    ResultCache,
     ServiceConfig,
 )
 from repro.resilience import (
@@ -111,6 +119,9 @@ __all__ = [
     "similarity_join",
     "spatial_join_datasets",
     "build_index",
+    "maintained_join",
+    "MaintainedJoin",
+    "ResultCache",
     "open_service",
     "JoinService",
     "JoinRequest",

@@ -34,7 +34,13 @@ from repro.obs.logging import get_logger
 if TYPE_CHECKING:
     from repro.resilience.budget import Budget
 
-__all__ = ["build_index", "similarity_join", "spatial_join_datasets", "open_service"]
+__all__ = [
+    "build_index",
+    "similarity_join",
+    "spatial_join_datasets",
+    "maintained_join",
+    "open_service",
+]
 
 logger = get_logger("api")
 
@@ -181,6 +187,36 @@ def similarity_join(
     if algorithm == "ncsj":
         return _ncsj(tree, eps, sink=sink, budget=budget, engine=engine)
     return _csj(tree, eps, g=g, sink=sink, budget=budget, engine=engine)
+
+
+def maintained_join(
+    points: np.ndarray,
+    eps: float,
+    g: int = 10,
+    index: Union[str, SpatialIndex] = "rstar",
+    metric: object = None,
+    max_entries: int = 64,
+    engine: str = "vectorized",
+):
+    """Materialize a compact join and keep it consistent under updates.
+
+    Returns a :class:`~repro.dynamic.MaintainedJoin`: call ``insert`` /
+    ``delete`` to update it, ``result()`` for the current output, and
+    ``expanded_links()`` for verification — expansion-equivalent to a
+    from-scratch :func:`similarity_join` over the live points after any
+    update sequence.
+    """
+    from repro.dynamic import MaintainedJoin  # deferred: imports core.csj
+
+    return MaintainedJoin(
+        points,
+        eps,
+        g=g,
+        metric=metric,
+        index=index,
+        max_entries=max_entries,
+        engine=engine,
+    )
 
 
 def open_service(

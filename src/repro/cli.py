@@ -18,6 +18,11 @@ Subcommands
     per-request deadlines, circuit breakers, brownout ladder) and print
     one outcome per request.
 
+``update``
+    Materialize a compact join and maintain it *incrementally* under a
+    seeded insert/delete churn workload (no recomputation), optionally
+    verifying expansion-equivalence against brute force.
+
 ``demo``
     The Figure 1 walk-through: seven points, eight links, three groups.
 
@@ -25,7 +30,8 @@ Examples::
 
     csj join --dataset mg_county -n 5000 --eps 0.05 --algorithm csj -g 10
     csj serve --dataset uniform -n 2000 --eps 0.04 --requests 32 \
-        --queue-depth 8 --deadline-ms 500
+        --queue-depth 8 --deadline-ms 500 --cache --repeats 2
+    csj update --dataset uniform -n 2000 --eps 0.05 --updates 500 --verify
     csj experiment fig6
     csj demo
 """
@@ -33,6 +39,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -205,6 +212,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="vectorized", choices=["vectorized", "scalar"],
     )
     serve.add_argument(
+        "--cache", action="store_true",
+        help="enable the ε-keyed result cache: repeat requests over the "
+        "same dataset/parameters are served from memory (byte-identical, "
+        "no tree descent), and under brownout a slightly-stale cached "
+        "result is served before degrading to the estimator",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024, metavar="B",
+        help="result-cache byte budget (LRU eviction past it); only "
+        "meaningful together with --cache",
+    )
+    serve.add_argument(
+        "--repeats", type=int, default=1, metavar="R",
+        help="serve the storm sequence R times in a row; every storm "
+        "request is unique, so repeats are what exercise --cache hits",
+    )
+    serve.add_argument(
         "--slow-every", type=int, default=0, metavar="K",
         help="chaos: stall every K-th storm request before execution "
         "(deterministic slow-dependency brownout)",
@@ -227,6 +251,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit with the typed code of the worst non-admitted outcome: "
         "10 if any request failed on an open circuit, else 9 if any was "
         "shed, else 0",
+    )
+
+    update = sub.add_parser(
+        "update",
+        help="materialize a compact join and maintain it incrementally "
+        "under a seeded insert/delete churn workload (repro.dynamic)",
+    )
+    update_source = update.add_mutually_exclusive_group(required=True)
+    update_source.add_argument("--dataset", help="generated dataset name")
+    update_source.add_argument(
+        "--input", help="coordinate text file (one point per line)"
+    )
+    update.add_argument("-n", type=int, default=2000, help="points to generate")
+    update.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the dataset AND the churn workload",
+    )
+    update.add_argument("--eps", type=float, required=True, help="query range")
+    update.add_argument("-g", type=int, default=10, help="CSJ merge window")
+    update.add_argument(
+        "--index", default="rstar", choices=["rtree", "rstar", "mtree"]
+    )
+    update.add_argument("--metric", default="euclidean")
+    update.add_argument(
+        "--updates", type=int, default=200, metavar="K",
+        help="churn length: K interleaved point inserts/deletes",
+    )
+    update.add_argument(
+        "--delete-fraction", type=float, default=0.5, metavar="F",
+        help="probability in [0, 1] that a churn step deletes (vs inserts)",
+    )
+    update.add_argument(
+        "--verify", action="store_true",
+        help="after the churn, check expansion-equivalence of the "
+        "maintained result against a brute-force join over the live "
+        "points (nonzero exit on mismatch)",
+    )
+    update.add_argument(
+        "--json", action="store_true",
+        help="print the summary as one JSON object on stdout",
     )
 
     experiment = sub.add_parser("experiment", help="reproduce a paper artifact")
@@ -534,17 +598,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         seed=args.seed,
+        cache_bytes=args.cache_bytes if args.cache else 0,
     )
     service.chaos = chaos
-    requests = chaos.storm(
+    if args.repeats < 1:
+        from repro.errors import ValidationError
+
+        raise ValidationError(f"--repeats must be >= 1, got {args.repeats}")
+    base = chaos.storm(
         points,
         args.eps,
         requests=args.requests,
         algorithm=args.algorithm,
         g=args.g,
     )
+    # Each repeat is its own wave: the point of a repeat is a cache hit,
+    # not extra admission pressure, so waves are served back to back
+    # rather than flooding the bounded queue with one giant batch.
+    waves = [base] + [
+        [
+            dataclasses.replace(req, request_id=f"{req.request_id}-r{rep}")
+            for req in base
+        ]
+        for rep in range(1, args.repeats)
+    ]
     try:
-        outcomes = service.serve(requests)
+        outcomes = []
+        for wave in waves:
+            outcomes.extend(service.serve(wave))
     finally:
         service.close()
 
@@ -576,7 +657,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "peak_queue": service.peak_queue,
         "queue_depth": args.queue_depth,
         "metrics": {
-            k: v for k, v in snapshot.items() if k.startswith("repro_service")
+            k: v
+            for k, v in snapshot.items()
+            if k.startswith(("repro_service", "repro_cache"))
         },
     }
     if args.json:
@@ -594,6 +677,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 10
         if counts["shed"]:
             return 9
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.api import maintained_join
+    from repro.core.bruteforce import brute_force_links
+    from repro.errors import ValidationError
+
+    if not 0.0 <= args.delete_fraction <= 1.0:
+        raise ValidationError(
+            f"--delete-fraction must be in [0, 1], got {args.delete_fraction}"
+        )
+    points = _load_points(args)
+    maintained = maintained_join(
+        points, args.eps, g=args.g, index=args.index, metric=args.metric
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    for _ in range(args.updates):
+        if rng.random() < args.delete_fraction and maintained.size > 2:
+            live = maintained.live_ids()
+            maintained.delete(int(live[rng.integers(len(live))]))
+        else:
+            maintained.insert(lo + rng.random(points.shape[1]) * (hi - lo))
+    compacted = None
+    verified = None
+    if args.verify:
+        # Before compaction so maintained ids still match the point rows.
+        live = maintained.live_ids()
+        sub = maintained.tree.points[np.asarray(live, dtype=np.intp)]
+        expected = {
+            (live[i], live[j])
+            for i, j in brute_force_links(sub, args.eps, metric=args.metric)
+        }
+        verified = maintained.expanded_links() == expected
+    if maintained.need_compact():
+        compacted = len(maintained.compact())
+    result = maintained.result()
+    summary = {
+        "points": maintained.size,
+        "updates": dict(maintained.counts),
+        "groups": result.stats.groups_emitted,
+        "links": result.stats.links_emitted,
+        "output_bytes": result.stats.bytes_written,
+        "implied_links": result.implied_link_count(),
+        "compacted_to": compacted,
+        "verified": verified,
+    }
+    if args.json:
+        print(_json.dumps(summary))
+    else:
+        counts = maintained.counts
+        print(
+            f"maintained join over {summary['points']} live points after "
+            f"{counts['inserts']} inserts ({counts['absorbed']} absorbed, "
+            f"{counts['residual']} residual links) and "
+            f"{counts['deletes']} deletes: {summary['groups']} groups, "
+            f"{summary['links']} links, {summary['output_bytes']} bytes "
+            f"({summary['implied_links']} implied pairs)"
+        )
+        if verified is not None:
+            print(f"expansion-equivalence vs brute force: "
+                  f"{'OK' if verified else 'MISMATCH'}")
+    if verified is False:
+        print("csj: error: maintained result diverged from brute force",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -699,6 +851,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_join(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "update":
+            return _cmd_update(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "cluster":

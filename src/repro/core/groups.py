@@ -31,6 +31,7 @@ from math import sqrt
 from typing import Optional, Sequence
 
 from repro.core.results import JoinSink
+from repro.errors import ValidationError
 from repro.geometry.mbr import MBR
 from repro.geometry.metrics import Metric, get_metric
 from repro.stats.counters import JoinStats
@@ -58,12 +59,19 @@ def apply_events(events, sink: JoinSink, buffer: Optional["GroupBuffer"]) -> Non
         kind = event[0]
         if kind == "links":
             sink.write_links(event[1], event[2])
-        elif kind == "group":
-            buffer.create_group(event[1], event[2], event[3])
-        elif kind == "linkseq":
-            add_link = buffer.add_link
-            for i, j, p_i, p_j in zip(event[1], event[2], event[3], event[4]):
-                add_link(i, j, p_i, p_j)
+        elif kind in ("group", "linkseq"):
+            if buffer is None:
+                raise ValidationError(
+                    f"cannot replay a {kind!r} event without a group "
+                    "window: these events are produced by CSJ tasks and "
+                    "need buffer= (SSJ replay emits only 'links' events)"
+                )
+            if kind == "group":
+                buffer.create_group(event[1], event[2], event[3])
+            else:
+                add_link = buffer.add_link
+                for i, j, p_i, p_j in zip(event[1], event[2], event[3], event[4]):
+                    add_link(i, j, p_i, p_j)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown task event kind {kind!r}")
 

@@ -305,6 +305,11 @@ class JoinResult:
     #: admission queue was under pressure.  A degraded result carries no
     #: exact links or groups; resubmit under a larger budget for them.
     degraded: bool = False
+    #: True when this result was served from the result cache for an
+    #: *earlier* dataset state (the fingerprint no longer matches): the
+    #: payload is exact for that state, merely not current.  Only the
+    #: serving layer's brownout path sets this.
+    stale: bool = False
     #: Path of the output text file when the run used a file sink; lets
     #: :meth:`expanded_links` verify file-backed runs too.
     output_path: Optional[str] = None
@@ -399,6 +404,7 @@ class JoinResult:
             "total_time": self.stats.total_time,
             "estimated": self.estimated,
             "degraded": self.degraded,
+            "stale": self.stale,
         }
 
     def __repr__(self) -> str:

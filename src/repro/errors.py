@@ -25,6 +25,7 @@ import numpy as np
 __all__ = [
     "ReproError",
     "InvalidInputError",
+    "ValidationError",
     "BudgetExceededError",
     "SinkIOError",
     "DiskFullError",
@@ -60,6 +61,16 @@ class InvalidInputError(ReproError, ValueError):
     """
 
     exit_code = 2
+
+
+class ValidationError(InvalidInputError):
+    """An internal consistency precondition does not hold for the call.
+
+    A narrower :class:`InvalidInputError` (same exit code) raised when
+    structured data reaching a library routine — replayed task events, a
+    maintained-join update — references machinery the caller did not
+    provide, e.g. a group event replayed without a group window.
+    """
 
 
 class BudgetExceededError(ReproError, RuntimeError):

@@ -25,6 +25,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.errors import InvalidInputError
 from repro.geometry.metrics import Metric, get_metric
 
 __all__ = ["IndexNode", "SpatialIndex", "IndexInvariantError"]
@@ -120,6 +121,12 @@ class SpatialIndex(ABC):
     #: Name used by CLI / experiment tables.
     name: str = "abstract"
 
+    #: Tombstone fraction beyond which :meth:`need_compact` reports True.
+    compact_threshold: float = 0.5
+    #: Minimum tombstone count before compaction is ever suggested —
+    #: small trees are cheaper to carry than to rebuild.
+    compact_min_deleted: int = 64
+
     def __init__(
         self,
         points: np.ndarray,
@@ -134,21 +141,179 @@ class SpatialIndex(ABC):
             raise ValueError(f"max_entries must be >= 2, got {max_entries}")
         if not 0.0 < min_fill <= 0.5:
             raise ValueError(f"min_fill must be in (0, 0.5], got {min_fill}")
-        self.points = pts
         self.metric = get_metric(metric)
         self.max_entries = int(max_entries)
         self.min_entries = max(1, int(max_entries * min_fill))
         self.root: Optional[IndexNode] = None
-        #: Row ids removed by delete(); validate() excludes them from the
-        #: partition check.
-        self._deleted: set[int] = set()
+        self._init_dynamic_state(pts)
         if len(pts):
             self._build()
+
+    def _init_dynamic_state(
+        self, points: np.ndarray, deleted: Optional[set[int]] = None
+    ) -> None:
+        """Install the mutable point-store state.
+
+        Shared by ``__init__`` and the bypass constructors
+        (``from_packed_root``, the persistence loader) so every tree —
+        however it was built — carries identical update bookkeeping.
+        """
+        #: Logical point array: row index is the point id.  A view of
+        #: :attr:`_backing` so appends are amortised O(1).
+        self.points = np.asarray(points, dtype=float)
+        self._backing = self.points
+        #: Until the first mutating insert the backing array may be the
+        #: caller's own array; writes must copy-on-first-write so updates
+        #: never corrupt data the caller (or a sibling index) still holds.
+        self._owns_backing = False
+        #: Row ids removed by delete(); validate() excludes them from the
+        #: partition check and add_point() reuses them as free slots.
+        self._deleted: set[int] = set(deleted) if deleted else set()
+        #: Min-heap mirror of :attr:`_deleted` giving deterministic
+        #: (lowest-id-first) slot reuse.  May hold stale entries for ids
+        #: resurrected by a direct ``insert``; consumers re-check
+        #: membership in :attr:`_deleted`.
+        self._free_slots: list[int] = sorted(self._deleted)
 
     # -- construction -------------------------------------------------------
     @abstractmethod
     def _build(self) -> None:
         """Populate :attr:`root` from :attr:`points`."""
+
+    # -- incremental maintenance --------------------------------------------
+    def insert(self, pid: int) -> None:  # pragma: no cover - interface
+        """Insert the point with id ``pid`` (a row of :attr:`points`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental insertion"
+        )
+
+    def _remove(self, pid: int) -> bool:
+        """Physically remove ``pid`` from the tree; return whether found.
+
+        Subclasses implement the structural surgery only — tombstone
+        bookkeeping is handled uniformly by :meth:`delete`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support deletion"
+        )
+
+    def delete(self, pid: int) -> bool:
+        """Remove point id ``pid``; returns whether it was found.
+
+        Template method: the concrete tree's :meth:`_remove` does the
+        structural work, while the tombstone (:attr:`_deleted`) and the
+        free-slot heap are recorded here so every index — R-tree, R*-tree,
+        M-tree, and anything future — keeps identical delete bookkeeping.
+        """
+        pid = int(pid)
+        if pid < 0 or pid >= len(self.points) or pid in self._deleted:
+            return False
+        if not self._remove(pid):
+            return False
+        self._deleted.add(pid)
+        heapq.heappush(self._free_slots, pid)
+        return True
+
+    def add_point(self, coords: np.ndarray, pid: Optional[int] = None) -> int:
+        """Insert a *new* point and return its id.
+
+        Reuses the lowest tombstoned row when one exists (so sustained
+        insert/delete churn does not grow the point array without bound);
+        otherwise appends with amortised-O(1) capacity doubling.  An
+        explicit ``pid`` must name a reusable slot or the append position.
+        """
+        coords = np.asarray(coords, dtype=float).ravel()
+        if len(self.points) and coords.shape != (self.points.shape[1],):
+            raise InvalidInputError(
+                f"point has dimension {coords.shape[0]}, index holds "
+                f"{self.points.shape[1]}-dimensional points"
+            )
+        if not np.isfinite(coords).all():
+            raise InvalidInputError("point coordinates must be finite")
+        if pid is not None:
+            pid = int(pid)
+            if pid != len(self.points) and pid not in self._deleted:
+                raise InvalidInputError(
+                    f"pid {pid} is neither a free slot nor the append "
+                    f"position {len(self.points)}"
+                )
+        else:
+            while self._free_slots:
+                candidate = heapq.heappop(self._free_slots)
+                if candidate in self._deleted:  # skip stale heap entries
+                    pid = candidate
+                    break
+        if pid is None or pid == len(self.points):
+            pid = len(self.points)
+            self._grow(pid + 1)
+        if not self._owns_backing:
+            self._own_backing()
+        self.points[pid] = coords
+        self.insert(pid)
+        return pid
+
+    def _grow(self, n: int) -> None:
+        """Extend the logical point array to ``n`` rows."""
+        capacity = len(self._backing)
+        if n > capacity:
+            new_cap = max(n, 2 * capacity, 8)
+            dim = self.points.shape[1] if self.points.ndim == 2 else 1
+            backing = np.empty((new_cap, dim), dtype=float)
+            backing[: len(self.points)] = self.points
+            self._backing = backing
+            self.points = self._backing[:n]
+            self._owns_backing = True
+            self._points_rebound()
+        else:
+            self.points = self._backing[:n]
+
+    def _own_backing(self) -> None:
+        """Copy-on-first-write: take ownership of the backing buffer.
+
+        Constructors adopt the caller's array without copying (queries
+        never mutate it); the first slot write must detach from it, or
+        reusing a tombstoned row would silently corrupt the caller's
+        data.
+        """
+        n = len(self.points)
+        self._backing = self.points.copy()
+        self.points = self._backing[:n]
+        self._owns_backing = True
+        self._points_rebound()
+
+    def _points_rebound(self) -> None:
+        """Hook: the backing buffer was reallocated (or replaced).
+
+        Trees that cache views into :attr:`points` (the M-tree's node
+        centers) refresh them here so the old buffer can be collected.
+        """
+
+    def need_compact(self) -> bool:
+        """Whether tombstones warrant a physical :meth:`compact`."""
+        n_deleted = len(self._deleted)
+        return (
+            n_deleted >= self.compact_min_deleted
+            and n_deleted >= self.compact_threshold * len(self.points)
+        )
+
+    def compact(self) -> dict[int, int]:
+        """Drop tombstoned rows, rebuild, and return the id remapping.
+
+        Live rows keep their relative order but are renumbered densely
+        from 0, so *every external id reference must be remapped* with
+        the returned ``{old_id: new_id}`` dictionary.  Clears
+        :attr:`_deleted` and releases the freed memory.
+        """
+        live = [i for i in range(len(self.points)) if i not in self._deleted]
+        mapping = {old: new for new, old in enumerate(live)}
+        pts = np.ascontiguousarray(self.points[live])
+        self.root = None
+        self._init_dynamic_state(pts)
+        self._owns_backing = True  # fancy indexing above made a fresh copy
+        self._points_rebound()
+        if len(pts):
+            self._build()
+        return mapping
 
     # -- generic queries ----------------------------------------------------
     def range_query(self, point: np.ndarray, radius: float) -> np.ndarray:

@@ -125,6 +125,7 @@ class MTree(SpatialIndex):
     # ------------------------------------------------------------------
     def insert(self, pid: int) -> None:
         """Insert the point with id ``pid`` (a row of :attr:`points`)."""
+        self._deleted.discard(pid)
         if self.root is None:
             self.root = self._new_node(level=0, router=pid)
             self.root.entry_ids.append(pid)
@@ -209,14 +210,19 @@ class MTree(SpatialIndex):
         for i in range(len(centers)):
             (group_a if prefer_a[i] else group_b).append(i)
         # Rebalance to satisfy the minimum fill, moving border entries.
-        self._rebalance(group_a, group_b, d_b)
-        self._rebalance(group_b, group_a, d_a)
+        # The promoted entries a and b must stay put: they become the
+        # routers of their groups, and deletion repair relies on every
+        # router living inside its own subtree.
+        self._rebalance(group_a, group_b, d_b, keep=a)
+        self._rebalance(group_b, group_a, d_a, keep=b)
         return group_a, group_b
 
-    def _rebalance(self, donor: list[int], taker: list[int], d_taker: np.ndarray) -> None:
+    def _rebalance(
+        self, donor: list[int], taker: list[int], d_taker: np.ndarray, keep: int
+    ) -> None:
         while len(taker) < self.min_entries and len(donor) > self.min_entries:
             # Move the donor entry closest to the taker's router.
-            move = min(donor, key=lambda i: d_taker[i])
+            move = min((i for i in donor if i != keep), key=lambda i: d_taker[i])
             donor.remove(move)
             taker.append(move)
 
@@ -263,18 +269,87 @@ class MTree(SpatialIndex):
     # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
-    def delete(self, pid: int) -> bool:
-        """Not supported: M-tree deletion is not part of this library.
+    # The original M-tree paper leaves deletion underspecified because
+    # routing objects are data points: removing one would dangle every
+    # ball routed through it.  The scheme here mirrors Guttman's
+    # CondenseTree and leans on one invariant that construction
+    # maintains (see :meth:`_partition`): a node's router always lives
+    # in its own subtree.  Hence every node routed by ``pid`` is an
+    # ancestor of ``pid``'s leaf and sits on the deletion path, where
+    # :meth:`_repair` re-routes it to a surviving entry.
 
-        The original M-tree paper leaves deletion underspecified (routing
-        objects are data points, so removing one invalidates its node);
-        the similarity-join experiments never delete.  Raises
-        ``NotImplementedError`` rather than silently corrupting the tree.
+    def _remove(self, pid: int) -> bool:
+        """Structural removal of ``pid`` (tombstones handled by the base)."""
+        if self.root is None:
+            return False
+        path = self._find_leaf(self.root, pid)
+        if path is None:
+            return False
+        path[-1].entry_ids.remove(pid)
+        self._condense(path, pid)
+        return True
+
+    def _find_leaf(self, node: BallNode, pid: int) -> Optional[list[BallNode]]:
+        """Root-to-leaf path reaching ``pid``, or None if absent."""
+        if node.is_leaf:
+            return [node] if pid in node.entry_ids else None
+        point = self.points[pid]
+        for child in node.children:
+            if self.metric.distance(child.center, point) <= child.radius + 1e-12:
+                sub = self._find_leaf(child, pid)
+                if sub is not None:
+                    return [node] + sub
+        return None
+
+    def _condense(self, path: list[BallNode], removed_pid: int) -> None:
+        """Repair the deletion path bottom-up (CondenseTree analogue).
+
+        Underflowing nodes are dissolved and their points re-inserted;
+        surviving nodes get their router replaced if it was the removed
+        point, and their covering radius re-tightened.
         """
-        raise NotImplementedError(
-            "MTree does not support deletion; rebuild the tree without "
-            "the point instead"
-        )
+        orphans: list[int] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node, parent = path[depth], path[depth - 1]
+            node.invalidate_cache()
+            if node.fanout < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend(int(i) for i in node.subtree_ids())
+            else:
+                self._repair(node, removed_pid)
+        root = path[0]
+        root.invalidate_cache()
+        if root.fanout > 0:
+            self._repair(root, removed_pid)
+        # Shrink (or drop) the root before re-inserting orphans so the
+        # inserts descend a well-formed tree.
+        while self.root is not None and not self.root.is_leaf:
+            if len(self.root.children) == 1:
+                self.root = self.root.children[0]
+            elif not self.root.children:
+                self.root = None
+            else:
+                break
+        if self.root is not None and self.root.is_leaf and not self.root.entry_ids:
+            self.root = None
+        for orphan in orphans:
+            self.insert(orphan)
+
+    def _repair(self, node: BallNode, removed_pid: int) -> None:
+        """Re-route ``node`` off the removed point and re-tighten it."""
+        if node.router == removed_pid:
+            node.router = (
+                node.entry_ids[0] if node.is_leaf else node.children[0].router
+            )
+        self._tighten(node)
+
+    # Node centers are views into the point array; refresh them when the
+    # backing buffer is reallocated so the old buffer can be collected.
+    def _points_rebound(self) -> None:
+        if self.root is None:
+            return
+        for node in self.nodes():
+            node.center = self.points[node.router]
 
     # ------------------------------------------------------------------
     # Validation helpers

@@ -223,11 +223,10 @@ def load_index(path: str) -> SpatialIndex:
         raise CheckpointCorruptError(path, f"inconsistent index file: {exc}") from exc
 
     tree = cls.__new__(cls)
-    tree.points = points
     tree.metric = metric
     tree.max_entries = max_entries
     tree.min_entries = min_entries
-    tree._deleted = deleted
+    tree._init_dynamic_state(points, deleted=deleted)
     if is_rect:
         tree.split_method = "quadratic"
         tree.shuffle_seed = None

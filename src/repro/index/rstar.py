@@ -216,7 +216,9 @@ class RStarTree(RTree):
 
     # Deletion inherits Guttman's CondenseTree from RTree; the reinsert
     # bookkeeping must be reset so deletions can trigger fresh inserts.
-    def delete(self, pid: int) -> bool:
-        """Remove point id ``pid`` (Guttman CondenseTree + R* reinserts)."""
+    # Tombstone accounting lives in SpatialIndex.delete — identical for
+    # every tree.
+    def _remove(self, pid: int) -> bool:
+        """Structural removal (Guttman CondenseTree + R* reinserts)."""
         self._reinserted_levels = set()
-        return super().delete(pid)
+        return super()._remove(pid)

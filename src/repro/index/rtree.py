@@ -124,12 +124,11 @@ class RTree(SpatialIndex):
         tree = cls.__new__(cls)
         tree.split_method = "quadratic"
         tree.shuffle_seed = None
-        tree.points = np.asarray(points, dtype=float)
         tree.metric = get_metric(metric)
         tree.max_entries = int(max_entries)
         tree.min_entries = max(1, int(max_entries * min_fill))
         tree.root = root
-        tree._deleted = set()
+        tree._init_dynamic_state(np.asarray(points, dtype=float))
         return tree
 
     # ------------------------------------------------------------------
@@ -317,8 +316,8 @@ class RTree(SpatialIndex):
     # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
-    def delete(self, pid: int) -> bool:
-        """Remove point id ``pid``; returns whether it was found.
+    def _remove(self, pid: int) -> bool:
+        """Structural removal of ``pid`` (tombstones handled by the base).
 
         Uses Guttman's CondenseTree: underflowing nodes along the path are
         dissolved and their contents re-inserted.
@@ -330,7 +329,6 @@ class RTree(SpatialIndex):
             return False
         leaf = path[-1]
         leaf.entry_ids.remove(pid)
-        self._deleted.add(pid)
         self._condense(path)
         # Shrink the root if it lost structure.
         while (

@@ -262,6 +262,27 @@ class MetricsRegistry:
             f"Requests that ended {outcome.replace('_', ' ')}",
         ).inc()
 
+    def cache_event(self, kind: str) -> None:
+        """Count one result-cache event.
+
+        ``kind`` is one of ``hit`` (fresh entry served), ``miss`` (no
+        usable entry), ``eviction`` (LRU/byte-budget displacement) or
+        ``patched`` (entry refreshed incrementally by the dynamic layer
+        instead of a from-scratch join).
+        """
+        names = {
+            "hit": "hits",
+            "miss": "misses",
+            "eviction": "evictions",
+            "patched": "patched",
+        }
+        plural = names.get(kind)
+        if plural is None:
+            raise ValueError(f"unknown cache event {kind!r}; known: {sorted(names)}")
+        self.counter(
+            f"repro_cache_{plural}_total", f"Result-cache {kind} events"
+        ).inc()
+
     def service_pressure(
         self, queue_len: int, queue_depth: int, deadline_slack: Optional[float]
     ) -> None:

@@ -10,6 +10,7 @@ degrades to the paper's analytic estimator before it sheds.  See
 """
 
 from repro.service.breaker import CircuitBreaker
+from repro.service.cache import CacheKey, ResultCache
 from repro.service.service import (
     OUTCOMES,
     JoinRequest,
@@ -19,10 +20,12 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "CacheKey",
     "CircuitBreaker",
     "JoinRequest",
     "JoinService",
     "RequestOutcome",
+    "ResultCache",
     "ServiceConfig",
     "OUTCOMES",
 ]

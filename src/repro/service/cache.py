@@ -1,0 +1,241 @@
+"""ε-keyed result cache for the serving layer.
+
+The paper's compact representation makes join *results* cheap enough to
+retain: :class:`ResultCache` keeps completed
+:class:`~repro.core.results.JoinResult` objects keyed by
+``(dataset fingerprint, metric, eps, g, algorithm)``.  A request whose
+dataset state and parameters match a cached entry is served without any
+tree descent — byte-identical to the cold run, since the stored result
+*is* the cold run's output.
+
+Two freshness levels exist:
+
+* **exact hit** — fingerprint and parameters match: served as
+  ``admitted``, indistinguishable from recomputing.
+* **stale hit** — the dataset moved on (updates changed the
+  fingerprint) but a result for the same parameters survives.  Under
+  overload the service may serve it marked ``stale=True`` — a
+  recently-true answer beats the analytic estimator on the brownout
+  ladder.
+
+Eviction is LRU under two budgets (entry count and result bytes);
+:meth:`ResultCache.invalidate` downgrades entries to stale rather than
+dropping them, so brownout retains its fallback.  All four outcome
+kinds are counted through ``repro_cache_{hits,misses,evictions,
+patched}_total`` (see :meth:`repro.obs.metrics.MetricsRegistry.cache_event`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.results import JoinResult
+from repro.dynamic.maintain import dataset_fingerprint
+from repro.geometry.metrics import get_metric
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+__all__ = ["CacheKey", "ResultCache"]
+
+logger = get_logger("service.cache")
+
+#: ``(fingerprint, metric, eps, g, algorithm)`` — the full cache key.
+CacheKey = tuple[str, str, float, int, str]
+
+
+def _params(key: CacheKey) -> tuple[str, float, int, str]:
+    """The dataset-independent suffix of a key (metric, eps, g, algo)."""
+    return key[1:]
+
+
+class _Entry:
+    __slots__ = ("result", "nbytes", "stale")
+
+    def __init__(self, result: JoinResult, nbytes: int):
+        self.result = result
+        self.nbytes = nbytes
+        self.stale = False
+
+
+class ResultCache:
+    """LRU + byte-budget cache of completed join results.
+
+    Thread-safe; the serving layer calls it from every executor thread.
+    ``max_bytes`` bounds the summed output sizes of retained results
+    (the paper's space metric, ``stats.bytes_written``), ``max_entries``
+    the entry count.
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024, max_entries: int = 128):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._bytes = 0
+        #: params -> most recently stored key with those params; lets the
+        #: brownout path find a stale result after the dataset moved on.
+        self._latest: dict[tuple[str, float, int, str], CacheKey] = {}
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        points: np.ndarray,
+        eps: float,
+        g: int,
+        algorithm: str = "csj",
+        metric: object = None,
+        fingerprint: Optional[str] = None,
+    ) -> CacheKey:
+        """Build the cache key for a dataset + parameter combination.
+
+        Pass ``fingerprint`` when the caller already knows it (e.g. a
+        :class:`~repro.dynamic.MaintainedJoin` tracks its own) to skip
+        re-hashing the points.
+        """
+        if fingerprint is None:
+            points = np.asarray(points, dtype=float)
+            fingerprint = dataset_fingerprint(points, range(len(points)))
+        return (
+            fingerprint,
+            get_metric(metric).name,
+            float(eps),
+            int(g),
+            str(algorithm).lower(),
+        )
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[JoinResult]:
+        """Exact lookup: fresh entry for this key, or None (a miss).
+
+        Returns a shallow copy so callers cannot mutate the cached
+        result's flags; the payload lists are shared (results are
+        treated as immutable once complete).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.stale:
+                get_registry().cache_event("miss")
+                return None
+            self._entries.move_to_end(key)
+            get_registry().cache_event("hit")
+            return replace(entry.result)
+
+    def get_stale(
+        self, eps: float, g: int, algorithm: str = "csj", metric: object = None
+    ) -> Optional[JoinResult]:
+        """Best-effort lookup ignoring the dataset fingerprint.
+
+        The brownout path: any retained result with matching parameters
+        — fresh or stale — returned with ``stale=True`` so the caller
+        can mark the serving honestly.  Does not count as a hit or miss
+        (the exact lookup already did).
+        """
+        params = (get_metric(metric).name, float(eps), int(g), str(algorithm).lower())
+        with self._lock:
+            key = self._latest.get(params)
+            if key is None:
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return replace(entry.result, stale=True)
+
+    def put(self, key: CacheKey, result: JoinResult) -> None:
+        """Store a completed exact result, evicting LRU past the budgets.
+
+        Degraded or estimated results are never cached — they are not
+        reusable answers, and caching them would launder an estimate
+        into an ``admitted`` outcome later.
+        """
+        if result.degraded or result.estimated:
+            return
+        nbytes = max(1, int(result.stats.bytes_written))
+        if nbytes > self.max_bytes:
+            logger.info(
+                "result larger than the whole cache budget; not cached",
+                extra={"bytes": nbytes, "budget": self.max_bytes},
+            )
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(result, nbytes)
+            self._bytes += nbytes
+            self._latest[_params(key)] = key
+            self._evict_locked()
+
+    def patched(self, key: CacheKey, result: JoinResult) -> None:
+        """Store a result produced by incremental patching.
+
+        Same storage semantics as :meth:`put`, but counted separately —
+        ``repro_cache_patched_total`` measures how often the dynamic
+        layer refreshed an entry without a from-scratch join.
+        """
+        self.put(key, result)
+        get_registry().cache_event("patched")
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        """Downgrade entries to stale; returns how many were downgraded.
+
+        ``fingerprint=None`` invalidates everything (the dataset is
+        gone or wholly replaced); otherwise only entries for that
+        dataset state.  Stale entries stop satisfying :meth:`get` but
+        remain available to :meth:`get_stale` until evicted.
+        """
+        count = 0
+        with self._lock:
+            for key, entry in self._entries.items():
+                if fingerprint is not None and key[0] != fingerprint:
+                    continue
+                if not entry.stale:
+                    entry.stale = True
+                    count += 1
+        return count
+
+    def _evict_locked(self) -> None:
+        while self._entries and (
+            self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+        ):
+            key, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.nbytes
+            if self._latest.get(_params(key)) == key:
+                del self._latest[_params(key)]
+            get_registry().cache_event("eviction")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict[str, int]:
+        """Current occupancy (event totals live in the metrics registry)."""
+        with self._lock:
+            stale = sum(1 for e in self._entries.values() if e.stale)
+            return {
+                "entries": len(self._entries),
+                "stale_entries": stale,
+                "bytes_used": self._bytes,
+                "max_bytes": self.max_bytes,
+                "max_entries": self.max_entries,
+            }

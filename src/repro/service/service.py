@@ -64,6 +64,7 @@ from repro.parallel import parallel_join
 from repro.parallel.tasks import FAMILIES
 from repro.resilience.budget import Budget
 from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache
 from repro.stats.counters import JoinStats
 
 __all__ = ["JoinRequest", "RequestOutcome", "ServiceConfig", "JoinService"]
@@ -160,6 +161,13 @@ class ServiceConfig:
     brownout_threshold: float = 0.5
     #: Queue occupancy in [0, 1] where requests get estimator answers.
     degrade_threshold: float = 0.75
+    #: Result-cache byte budget; 0 disables caching entirely.
+    cache_bytes: int = 0
+    #: Result-cache entry bound (only meaningful with ``cache_bytes > 0``).
+    cache_entries: int = 128
+    #: Under brownout, serve a slightly-stale cached result (marked
+    #: ``stale=True``) before falling back to the analytic estimator.
+    serve_stale: bool = True
     #: Consecutive pool/sink failures before the circuit opens.
     breaker_threshold: int = 3
     #: Decorrelated-jitter cooldown bounds for breaker probes (seconds).
@@ -178,6 +186,10 @@ class ServiceConfig:
                 "need 0 <= brownout_threshold <= degrade_threshold <= 1, got "
                 f"{self.brownout_threshold} / {self.degrade_threshold}"
             )
+        if self.cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.cache_entries < 1:
+            raise ValueError(f"cache_entries must be >= 1, got {self.cache_entries}")
 
 
 class JoinService:
@@ -192,6 +204,15 @@ class JoinService:
     def __init__(self, config: Optional[ServiceConfig] = None, chaos=None):
         self.config = config or ServiceConfig()
         self.chaos = chaos
+        #: ε-keyed result cache; ``None`` when disabled (cache_bytes=0).
+        self.cache: Optional[ResultCache] = (
+            ResultCache(
+                max_bytes=self.config.cache_bytes,
+                max_entries=self.config.cache_entries,
+            )
+            if self.config.cache_bytes > 0
+            else None
+        )
         self.pool_breaker = CircuitBreaker(
             "worker-pool",
             failure_threshold=self.config.breaker_threshold,
@@ -375,6 +396,27 @@ class JoinService:
             self.config.queue_depth,
             slack,
         )
+        # Cache fast path: an exact hit needs no tree descent and no
+        # ladder — it is the cold run's bytes, served again.  Checked
+        # before the pressure rungs because a hit *relieves* pressure.
+        cache_key = None
+        if self.cache is not None:
+            cache_key = ResultCache.key_for(
+                request.points,
+                request.eps,
+                request.g,
+                request.algorithm,
+                request.metric,
+            )
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                return RequestOutcome(
+                    request.request_id,
+                    "admitted",
+                    result=hit,
+                    deadline_slack=slack,
+                    occupancy=occupancy,
+                )
         # Ladder rung 3: an expired-or-hopeless deadline, or severe queue
         # pressure, goes straight to the estimator answer.
         if (slack is not None and slack <= 0) or (
@@ -440,6 +482,13 @@ class JoinService:
                 deadline_slack=slack,
                 occupancy=occupancy,
             )
+        # Only exact runs reach here: fold their counters into the
+        # repro_join_* metrics (a later cache hit leaves them untouched,
+        # which is how tests assert the descent was skipped) and retain
+        # the result for future hits.
+        registry.record_join_stats(result.stats)
+        if self.cache is not None and cache_key is not None:
+            self.cache.put(cache_key, result)
         return RequestOutcome(
             request.request_id,
             "admitted",
@@ -498,8 +547,28 @@ class JoinService:
         slack: Optional[float],
         partial_stats: JoinStats,
     ) -> RequestOutcome:
-        """Serve the analytic estimator answer, marked ``degraded=True``."""
+        """Brown the request out: stale cached result, else the estimator.
+
+        A retained cached result for the same parameters — even for an
+        older dataset state — is a recently-true exact answer, which
+        beats the analytic estimate; it slots in as the first fallback
+        and is marked both ``stale`` and ``degraded``.
+        """
         from repro.experiments.estimate import estimate_ssj  # deferred
+
+        if self.cache is not None and self.config.serve_stale:
+            stale = self.cache.get_stale(
+                request.eps, request.g, request.algorithm, request.metric
+            )
+            if stale is not None:
+                stale.degraded = True
+                return RequestOutcome(
+                    request.request_id,
+                    "degraded",
+                    result=stale,
+                    deadline_slack=slack,
+                    occupancy=occupancy,
+                )
 
         id_width = width_for(len(request.points))
         estimate = estimate_ssj(

@@ -1,0 +1,236 @@
+"""The ε-keyed result cache and its serving-layer integration.
+
+The contract: a cache hit is byte-identical to the cold run it replays
+and skips the tree descent entirely (the ``repro_join_*`` counters stay
+flat across a hit); eviction is LRU under an entry *and* a byte budget;
+invalidation downgrades entries to stale, which the brownout ladder may
+still serve — honestly marked — before falling back to the estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import open_service, similarity_join
+from repro.obs.metrics import get_registry, reset_registry
+from repro.service import JoinRequest, ResultCache, ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.random((300, 2))
+
+
+def _result(pts, eps=0.05, g=10):
+    return similarity_join(pts, eps, algorithm="csj", g=g)
+
+
+def _counter(name):
+    return get_registry().snapshot().get(name, 0)
+
+
+class TestResultCache:
+    def test_key_is_content_addressed(self, pts):
+        key_a = ResultCache.key_for(pts, 0.05, 10)
+        key_b = ResultCache.key_for(pts.copy(), 0.05, 10)
+        assert key_a == key_b
+        assert ResultCache.key_for(pts, 0.06, 10) != key_a
+        assert ResultCache.key_for(pts, 0.05, 5) != key_a
+        moved = pts.copy()
+        moved[0, 0] += 0.25
+        assert ResultCache.key_for(moved, 0.05, 10) != key_a
+
+    def test_hit_is_byte_identical(self, pts):
+        cache = ResultCache()
+        key = ResultCache.key_for(pts, 0.05, 10)
+        cold = _result(pts)
+        cache.put(key, cold)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.links == cold.links
+        assert hit.groups == cold.groups
+        assert hit.output_bytes == cold.output_bytes
+        assert _counter("repro_cache_hits_total") == 1
+
+    def test_miss_counted(self, pts):
+        cache = ResultCache()
+        assert cache.get(ResultCache.key_for(pts, 0.05, 10)) is None
+        assert _counter("repro_cache_misses_total") == 1
+        assert _counter("repro_cache_hits_total") == 0
+
+    def test_hit_copy_protects_cached_flags(self, pts):
+        cache = ResultCache()
+        key = ResultCache.key_for(pts, 0.05, 10)
+        cache.put(key, _result(pts))
+        cache.get(key).stale = True  # caller mutates its copy
+        again = cache.get(key)
+        assert again is not None and not again.stale
+
+    def test_degraded_and_estimated_results_never_cached(self, pts):
+        cache = ResultCache()
+        key = ResultCache.key_for(pts, 0.05, 10)
+        bad = _result(pts)
+        bad.degraded = True
+        cache.put(key, bad)
+        assert len(cache) == 0
+        bad = _result(pts)
+        bad.estimated = True
+        cache.put(key, bad)
+        assert len(cache) == 0
+
+    def test_oversized_result_not_cached(self, pts):
+        cold = _result(pts)
+        cache = ResultCache(max_bytes=max(1, cold.stats.bytes_written - 1))
+        cache.put(ResultCache.key_for(pts, 0.05, 10), cold)
+        assert len(cache) == 0
+
+    def test_lru_entry_eviction(self, rng):
+        cache = ResultCache(max_entries=2)
+        datasets = [rng.random((50, 2)) for _ in range(3)]
+        keys = [ResultCache.key_for(d, 0.1, 10) for d in datasets]
+        for d, k in zip(datasets[:2], keys[:2]):
+            cache.put(k, _result(d, eps=0.1))
+        assert cache.get(keys[0]) is not None  # refresh: 0 becomes MRU
+        cache.put(keys[2], _result(datasets[2], eps=0.1))
+        assert len(cache) == 2
+        assert cache.get(keys[1]) is None  # LRU victim
+        assert cache.get(keys[0]) is not None
+        assert _counter("repro_cache_evictions_total") == 1
+
+    def test_byte_budget_eviction(self, rng):
+        datasets = [rng.random((80, 2)) for _ in range(3)]
+        results = [_result(d, eps=0.1) for d in datasets]
+        budget = results[0].stats.bytes_written + results[1].stats.bytes_written
+        cache = ResultCache(max_bytes=budget)
+        for d, r in zip(datasets, results):
+            cache.put(ResultCache.key_for(d, 0.1, 10), r)
+        assert cache.bytes_used <= budget
+        assert len(cache) < 3
+        assert _counter("repro_cache_evictions_total") >= 1
+
+    def test_invalidate_downgrades_to_stale(self, pts):
+        cache = ResultCache()
+        key = ResultCache.key_for(pts, 0.05, 10)
+        cache.put(key, _result(pts))
+        assert cache.invalidate(key[0]) == 1
+        assert cache.get(key) is None  # stale entries stop exact-hitting
+        stale = cache.get_stale(0.05, 10)
+        assert stale is not None
+        assert stale.stale
+        assert cache.invalidate("no-such-fingerprint") == 0
+        assert cache.stats()["stale_entries"] == 1
+
+    def test_get_stale_follows_latest_params(self, rng):
+        cache = ResultCache()
+        old_pts, new_pts = rng.random((60, 2)), rng.random((60, 2))
+        cache.put(ResultCache.key_for(old_pts, 0.1, 10), _result(old_pts, eps=0.1))
+        cache.put(ResultCache.key_for(new_pts, 0.1, 10), _result(new_pts, eps=0.1))
+        newest = _result(new_pts, eps=0.1)
+        assert cache.get_stale(0.1, 10).links == newest.links
+        assert cache.get_stale(0.2, 10) is None  # params never stored
+
+    def test_eviction_clears_stale_lookup(self, rng):
+        cache = ResultCache(max_entries=1)
+        a, b = rng.random((40, 2)), rng.random((40, 2))
+        cache.put(ResultCache.key_for(a, 0.1, 10), _result(a, eps=0.1))
+        cache.put(ResultCache.key_for(b, 0.1, 5), _result(b, eps=0.1, g=5))
+        # The g=10 entry was evicted; its params must not resolve stale.
+        assert cache.get_stale(0.1, 10) is None
+        assert cache.get_stale(0.1, 5) is not None
+
+    def test_patched_counter(self, pts):
+        cache = ResultCache()
+        cache.patched(ResultCache.key_for(pts, 0.05, 10), _result(pts))
+        assert _counter("repro_cache_patched_total") == 1
+        assert len(cache) == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestServiceIntegration:
+    def test_hit_skips_descent_and_matches_cold_run(self, pts):
+        with open_service(cache_bytes=1 << 20) as svc:
+            request = lambda: JoinRequest(points=pts, eps=0.05)
+            cold = svc.submit(request()).wait(10.0)
+            assert cold.status == "admitted"
+            descents = _counter("repro_join_distance_computations_total")
+            assert descents > 0
+            warm = svc.submit(request()).wait(10.0)
+        assert warm.status == "admitted"
+        # Byte-identical answer...
+        assert warm.result.links == cold.result.links
+        assert warm.result.groups == cold.result.groups
+        assert warm.result.output_bytes == cold.result.output_bytes
+        assert not warm.result.stale
+        # ...without any tree descent: the join counters did not move.
+        assert _counter("repro_join_distance_computations_total") == descents
+        assert _counter("repro_cache_hits_total") == 1
+        assert _counter("repro_cache_misses_total") == 1
+
+    def test_cache_disabled_by_default(self, pts):
+        with open_service() as svc:
+            assert svc.cache is None
+            svc.submit(JoinRequest(points=pts, eps=0.05)).wait(10.0)
+            svc.submit(JoinRequest(points=pts, eps=0.05)).wait(10.0)
+        assert _counter("repro_cache_hits_total") == 0
+
+    def test_stale_serve_on_brownout(self, pts):
+        with open_service(cache_bytes=1 << 20) as svc:
+            cold = svc.submit(JoinRequest(points=pts, eps=0.05)).wait(10.0)
+            assert cold.status == "admitted"
+            svc.cache.invalidate()
+            # An already-expired deadline rides the brownout ladder; the
+            # stale entry beats the estimator.
+            outcome = svc.submit(
+                JoinRequest(points=pts, eps=0.05, deadline_seconds=1e-9)
+            ).wait(10.0)
+        assert outcome.status == "degraded"
+        assert outcome.result.stale
+        assert outcome.result.degraded
+        assert not outcome.result.estimated
+        assert outcome.result.links == cold.result.links
+
+    def test_brownout_without_stale_falls_to_estimator(self, pts):
+        with open_service(cache_bytes=1 << 20) as svc:
+            outcome = svc.submit(
+                JoinRequest(points=pts, eps=0.05, deadline_seconds=1e-9)
+            ).wait(10.0)
+        assert outcome.status == "degraded"
+        assert outcome.result.estimated
+        assert not outcome.result.stale
+
+    def test_serve_stale_opt_out(self, pts):
+        with open_service(cache_bytes=1 << 20, serve_stale=False) as svc:
+            svc.submit(JoinRequest(points=pts, eps=0.05)).wait(10.0)
+            svc.cache.invalidate()
+            outcome = svc.submit(
+                JoinRequest(points=pts, eps=0.05, deadline_seconds=1e-9)
+            ).wait(10.0)
+        assert outcome.status == "degraded"
+        assert outcome.result.estimated  # stale serving disabled
+
+    def test_degraded_answers_stay_out_of_the_cache(self, pts):
+        with open_service(cache_bytes=1 << 20) as svc:
+            outcome = svc.submit(
+                JoinRequest(points=pts, eps=0.05, deadline_seconds=1e-9)
+            ).wait(10.0)
+            assert outcome.status == "degraded"
+            assert len(svc.cache) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(cache_bytes=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(cache_entries=0)

@@ -317,3 +317,72 @@ class TestExperimentCommand:
         assert main(["experiment", "exp4"]) == 0
         out = capsys.readouterr().out
         assert "mtree" in out
+
+
+class TestUpdateCommand:
+    def test_update_with_verify(self, capsys):
+        code = main(
+            ["update", "--dataset", "uniform", "-n", "300", "--eps", "0.08",
+             "--updates", "60", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maintained join" in out
+        assert "expansion-equivalence vs brute force: OK" in out
+
+    def test_update_json(self, capsys):
+        import json
+
+        code = main(
+            ["update", "--dataset", "uniform", "-n", "200", "--eps", "0.1",
+             "--updates", "30", "--verify", "--json"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["verified"] is True
+        assert record["updates"]["inserts"] + record["updates"]["deletes"] == 30
+
+    def test_bad_delete_fraction_exits_2(self, capsys):
+        code = main(
+            ["update", "--dataset", "uniform", "-n", "50", "--eps", "0.1",
+             "--delete-fraction", "1.5"]
+        )
+        assert code == 2
+        assert "delete-fraction" in capsys.readouterr().err
+
+
+class TestServeCacheFlags:
+    def test_repeats_hit_the_cache(self, capsys):
+        import json
+
+        code = main(
+            ["serve", "--dataset", "uniform", "-n", "200", "--eps", "0.05",
+             "--requests", "2", "--queue-depth", "8", "--seed", "3",
+             "--cache", "--repeats", "3", "--json"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        summary = json.loads(lines[-1])
+        assert summary["counts"]["admitted"] == 6
+        assert summary["metrics"]["repro_cache_hits_total"] == 4
+        assert summary["metrics"]["repro_cache_misses_total"] == 2
+
+    def test_without_cache_no_cache_metrics(self, capsys):
+        import json
+
+        code = main(
+            ["serve", "--dataset", "uniform", "-n", "200", "--eps", "0.05",
+             "--requests", "2", "--queue-depth", "8", "--seed", "3",
+             "--repeats", "2", "--json"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert not any(k.startswith("repro_cache") for k in summary["metrics"])
+
+    def test_bad_repeats_exits_2(self, capsys):
+        code = main(
+            ["serve", "--dataset", "uniform", "-n", "50", "--eps", "0.1",
+             "--requests", "2", "--repeats", "0"]
+        )
+        assert code == 2
+        assert "repeats" in capsys.readouterr().err

@@ -1,0 +1,315 @@
+"""Incremental join maintenance (`repro.dynamic`).
+
+The contract under test is expansion-equivalence after *any* update
+sequence: a :class:`MaintainedJoin` that absorbed inserts and repaired
+deletes must expand to exactly the brute-force link set over the live
+points — as if the join had been recomputed from scratch.  The
+hypothesis suite at the bottom drives random insert/delete/query
+interleavings over all three index structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import maintained_join, similarity_join
+from repro.core.bruteforce import brute_force_links
+from repro.core.groups import apply_events
+from repro.core.results import CollectSink
+from repro.dynamic import MaintainedJoin
+from repro.errors import InvalidInputError, ValidationError
+
+# Same coarse lattice as tests/test_properties.py: maximises
+# exact-distance ties, the hardest case for strict-inequality agreement.
+coordinate = st.one_of(
+    st.integers(0, 8).map(lambda v: v / 8.0),
+    st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+def expected_links(maintained):
+    """Brute-force ground truth over the live points, in live-id space."""
+    live = maintained.live_ids()
+    if len(live) < 2:
+        return set()
+    sub = maintained.tree.points[np.asarray(live, dtype=np.intp)]
+    return {
+        (live[i], live[j])
+        for i, j in brute_force_links(sub, maintained.eps, metric=maintained.metric)
+    }
+
+
+def assert_equivalent(maintained):
+    maintained.validate()
+    assert maintained.expanded_links() == expected_links(maintained)
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.random((200, 2))
+
+
+class TestConstruction:
+    def test_seed_matches_brute_force(self, pts):
+        maintained = maintained_join(pts, eps=0.08, g=10)
+        assert_equivalent(maintained)
+        assert maintained.size == len(pts)
+
+    def test_from_result_adopts_without_rejoin(self, pts):
+        result = similarity_join(pts, eps=0.08, algorithm="csj", g=10)
+        maintained = MaintainedJoin.from_result(pts, result)
+        assert_equivalent(maintained)
+
+    def test_from_result_rejects_spatial_join_output(self, rng):
+        a, b = rng.random((50, 2)), rng.random((50, 2))
+        from repro.api import spatial_join_datasets
+
+        pair_result = spatial_join_datasets(a, b, eps=0.3, compact=True)
+        if not pair_result.group_pairs:  # pragma: no cover - eps chosen to pair
+            pytest.skip("no group pairs produced")
+        with pytest.raises(InvalidInputError):
+            MaintainedJoin.from_result(a, pair_result)
+
+    def test_parameter_validation(self, pts):
+        with pytest.raises(InvalidInputError):
+            maintained_join(pts, eps=-1.0)
+        with pytest.raises(InvalidInputError):
+            maintained_join(pts, eps=0.05, g=-1)
+
+    @pytest.mark.parametrize("index", ["rtree", "rstar", "mtree"])
+    def test_all_index_structures(self, rng, index):
+        pts = rng.random((80, 2))
+        maintained = maintained_join(pts, eps=0.1, index=index)
+        assert_equivalent(maintained)
+
+
+class TestInsert:
+    def test_absorb_into_group(self):
+        # A tight cluster forms one group; a point dropped into its
+        # middle must be absorbed, not linked pairwise.
+        cluster = np.array([[0.50, 0.50], [0.51, 0.50], [0.50, 0.51], [0.51, 0.51]])
+        maintained = maintained_join(cluster, eps=0.1)
+        assert len(maintained._groups) == 1
+        pid = maintained.insert([0.505, 0.505])
+        assert maintained.counts["absorbed"] == 1
+        assert any(pid in grp.ids for grp in maintained._groups.values())
+        assert_equivalent(maintained)
+
+    def test_far_point_gets_no_links(self, pts):
+        maintained = maintained_join(pts, eps=0.05)
+        before = maintained.expanded_links()
+        pid = maintained.insert([50.0, 50.0])
+        assert maintained.expanded_links() == before
+        assert pid not in maintained._pid_links
+        assert_equivalent(maintained)
+
+    def test_residual_links_outside_absorbing_group(self):
+        # Two separate tight clusters, new point within eps of both but
+        # only absorbable into one: the other side becomes links.
+        left = np.array([[0.10, 0.5], [0.11, 0.5]])
+        right = np.array([[0.30, 0.5], [0.31, 0.5]])
+        maintained = maintained_join(np.vstack([left, right]), eps=0.15)
+        maintained.insert([0.195, 0.5])  # near both, inside neither box
+        assert maintained.counts["residual"] > 0
+        assert_equivalent(maintained)
+
+    def test_insert_reuses_tombstoned_slot(self, pts):
+        maintained = maintained_join(pts, eps=0.05)
+        assert maintained.delete(17)
+        pid = maintained.insert([0.4, 0.6])
+        assert pid == 17
+        assert maintained.size == len(pts)
+        assert_equivalent(maintained)
+
+
+class TestDelete:
+    def test_delete_missing_returns_false(self, pts):
+        maintained = maintained_join(pts, eps=0.05)
+        assert not maintained.delete(9999)
+        assert maintained.delete(3)
+        assert not maintained.delete(3)
+
+    def test_delete_removes_exactly_its_pairs(self, pts):
+        maintained = maintained_join(pts, eps=0.08)
+        before = maintained.expanded_links()
+        victim = 42
+        maintained.delete(victim)
+        after = maintained.expanded_links()
+        assert after == {p for p in before if victim not in p}
+        assert_equivalent(maintained)
+
+    def test_group_dissolves_below_two_members(self):
+        cluster = np.array([[0.5, 0.5], [0.51, 0.5], [0.5, 0.51]])
+        maintained = maintained_join(cluster, eps=0.1)
+        assert len(maintained._groups) == 1
+        maintained.delete(0)
+        maintained.delete(1)
+        assert not maintained._groups
+        assert_equivalent(maintained)
+
+    def test_delete_everything(self, rng):
+        pts = rng.random((30, 2))
+        maintained = maintained_join(pts, eps=0.2)
+        for pid in range(30):
+            assert maintained.delete(pid)
+        assert maintained.size == 0
+        assert not maintained._groups
+        assert not maintained._links
+        assert_equivalent(maintained)
+
+
+class TestOutput:
+    def test_result_is_deterministic(self, pts):
+        a = maintained_join(pts, eps=0.08)
+        b = maintained_join(pts, eps=0.08)
+        for m in (a, b):
+            m.delete(5)
+            m.insert([0.2, 0.2])
+        ra, rb = a.result(), b.result()
+        assert ra.links == rb.links
+        assert ra.groups == rb.groups
+        assert ra.output_bytes == rb.output_bytes
+
+    def test_result_expansion_matches_maintained_state(self, pts):
+        maintained = maintained_join(pts, eps=0.08)
+        maintained.delete(7)
+        maintained.insert([0.33, 0.66])
+        result = maintained.result()
+        assert result.expanded_links() == maintained.expanded_links()
+
+    def test_fingerprint_tracks_updates(self, pts):
+        maintained = maintained_join(pts, eps=0.05)
+        fp0 = maintained.fingerprint()
+        maintained.delete(0)
+        fp1 = maintained.fingerprint()
+        assert fp0 != fp1
+        maintained.insert(pts[0], pid=0)
+        assert maintained.fingerprint() == fp0
+
+
+class TestCompact:
+    def test_compact_preserves_expansion(self, rng):
+        pts = rng.random((200, 2))
+        maintained = maintained_join(pts, eps=0.08)
+        for pid in range(120):
+            maintained.delete(pid)
+        assert maintained.need_compact()
+        before = expected_links(maintained)
+        mapping = maintained.compact()
+        assert not maintained.need_compact()
+        remapped = {tuple(sorted((mapping[i], mapping[j]))) for i, j in before}
+        assert maintained.expanded_links() == remapped
+        assert_equivalent(maintained)
+
+
+class TestReplayValidation:
+    def test_group_event_without_buffer_raises_typed_error(self):
+        # Regression: replaying CSJ events without a group window used to
+        # die with a bare AttributeError on buffer.create_group.
+        sink = CollectSink()
+        with pytest.raises(ValidationError, match="'group'"):
+            apply_events([("group", (0, 1), [0.0], [0.1])], sink, None)
+        with pytest.raises(ValidationError, match="'linkseq'"):
+            apply_events([("linkseq", [0], [1], [[0.0]], [[0.1]])], sink, None)
+        # ValidationError is an InvalidInputError: same exit-code family.
+        assert issubclass(ValidationError, InvalidInputError)
+
+    def test_links_events_need_no_buffer(self):
+        sink = CollectSink()
+        apply_events([("links", [0, 2], [1, 3])], sink, None)
+        assert sink.links == [(0, 1), (2, 3)]
+
+
+# ---------------------------------------------------------------------------
+# Property suite: random insert/delete/query interleavings.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def churn_cases(draw):
+    dim = draw(st.integers(1, 3))
+    n0 = draw(st.integers(2, 20))
+    rows = draw(
+        st.lists(
+            st.lists(coordinate, min_size=dim, max_size=dim),
+            min_size=n0,
+            max_size=n0,
+        )
+    )
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.lists(coordinate, min_size=dim, max_size=dim),
+                ),
+                st.tuples(st.just("delete"), st.integers(0, 10_000)),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    eps = draw(st.sampled_from([0.05, 0.125, 0.25, 0.5, 1.0]))
+    g = draw(st.sampled_from([0, 1, 3, 10]))
+    index = draw(st.sampled_from(["rtree", "rstar", "mtree"]))
+    return np.asarray(rows, dtype=float), eps, g, index, ops
+
+
+def run_churn(maintained, ops):
+    """Apply ops, checking equivalence after every single step."""
+    for kind, payload in ops:
+        if kind == "insert":
+            maintained.insert(payload)
+        else:
+            live = maintained.live_ids()
+            if not live:
+                assert not maintained.delete(payload)
+                continue
+            maintained.delete(live[payload % len(live)])
+        assert_equivalent(maintained)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=churn_cases())
+def test_interleaved_updates_stay_expansion_equivalent(case):
+    pts, eps, g, index, ops = case
+    maintained = maintained_join(pts, eps, g=g, index=index, max_entries=4)
+    assert_equivalent(maintained)
+    run_churn(maintained, ops)
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=churn_cases())
+def test_interleavings_match_from_scratch_join(case):
+    """End state equals a from-scratch CSJ over the surviving points."""
+    pts, eps, g, index, ops = case
+    maintained = maintained_join(pts, eps, g=g, index=index, max_entries=4)
+    run_churn(maintained, ops)
+    live = maintained.live_ids()
+    if len(live) < 2:
+        return
+    sub = maintained.tree.points[np.asarray(live, dtype=np.intp)]
+    scratch = similarity_join(sub, eps, algorithm="csj", g=g)
+    scratch_links = set()
+    for i, j in scratch.links:
+        scratch_links.add(tuple(sorted((live[i], live[j]))))
+    for ids in scratch.groups:
+        ids = sorted(live[i] for i in ids)
+        for a in range(len(ids)):
+            for b in range(a + 1, len(ids)):
+                scratch_links.add((ids[a], ids[b]))
+    assert maintained.expanded_links() == scratch_links
+
+
+def test_churn_under_every_metric(rng, metric):
+    pts = rng.random((60, 2))
+    maintained = maintained_join(pts, eps=0.15, metric=metric)
+    for step in range(40):
+        if step % 3 == 0:
+            live = maintained.live_ids()
+            maintained.delete(live[step % len(live)])
+        else:
+            maintained.insert(rng.random(2))
+    assert_equivalent(maintained)

@@ -64,10 +64,38 @@ class TestRangeQuery:
 
 
 class TestDeletion:
-    def test_delete_raises_explicitly(self, rng):
-        tree = MTree(rng.random((20, 2)), max_entries=8)
-        with pytest.raises(NotImplementedError, match="rebuild"):
-            tree.delete(3)
+    def test_delete_removes_point(self, rng):
+        pts = rng.random((60, 2))
+        tree = MTree(pts, max_entries=8)
+        assert tree.delete(3)
+        assert not tree.delete(3)  # already gone
+        tree.validate()
+        center = pts[3]
+        assert 3 not in tree.range_query(center, 0.3)
+
+    def test_delete_router_reroutes(self, rng):
+        pts = rng.random((80, 2))
+        tree = MTree(pts, max_entries=8)
+        # Delete every router in the tree, root first: repair must
+        # re-route each affected node without corrupting the structure.
+        routers = sorted({node.router for node in tree.nodes()})
+        for pid in routers:
+            assert tree.delete(pid)
+            tree.validate()
+        survivors = set(range(len(pts))) - set(routers)
+        got = set(tree.range_query(np.array([0.5, 0.5]), 10.0).tolist())
+        assert got == survivors
+
+    def test_delete_all_then_reinsert(self, rng):
+        pts = rng.random((30, 2))
+        tree = MTree(pts, max_entries=4)
+        for pid in range(len(pts)):
+            assert tree.delete(pid)
+        assert tree.root is None
+        for pid in range(len(pts)):
+            tree.insert(pid)  # insert clears the tombstone itself
+        tree.validate()
+        assert len(tree.range_query(np.array([0.5, 0.5]), 10.0)) == len(pts)
 
 
 class TestNodeContract:
