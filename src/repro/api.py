@@ -89,6 +89,7 @@ def similarity_join(
     workers: Optional[int] = None,
     task_timeout: Optional[float] = None,
     engine: str = "vectorized",
+    data_plane: str = "auto",
 ) -> JoinResult:
     """Similarity self-join of ``points`` with query range ``eps``.
 
@@ -115,6 +116,11 @@ def similarity_join(
     (:func:`repro.parallel.parallel_join`) with ``task_timeout`` as the
     per-task wall-clock limit; output is byte-identical to the serial
     run.  ``workers`` of ``None``, 0 or 1 stays in-process.
+
+    ``data_plane`` (parallel runs only) selects how workers obtain the
+    dataset: ``"shm"`` maps one shared-memory copy zero-copy,
+    ``"pickle"`` ships it per worker, ``"auto"`` (default) prefers shm
+    where available.  Output bytes are identical either way.
 
     ``engine`` selects how tree algorithms prune: ``"vectorized"``
     (default) runs the batched-kernel frontier engine,
@@ -164,6 +170,7 @@ def similarity_join(
             budget=budget,
             task_timeout=task_timeout,
             engine=engine,
+            data_plane=data_plane,
         )
     if algorithm == "egrid":
         return egrid_join(

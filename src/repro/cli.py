@@ -162,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="log a progress heartbeat (links/groups/bytes so far) every "
         "SECONDS while the join runs",
     )
+    join.add_argument(
+        "--data-plane",
+        default="auto",
+        choices=["auto", "shm", "pickle"],
+        help="how parallel workers obtain the dataset: one zero-copy "
+        "shared-memory mapping (shm), a pickled copy per worker "
+        "(pickle), or shm where available (auto, default); output "
+        "bytes are identical either way",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -251,6 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit with the typed code of the worst non-admitted outcome: "
         "10 if any request failed on an open circuit, else 9 if any was "
         "shed, else 0",
+    )
+    serve.add_argument(
+        "--data-plane",
+        default="auto",
+        choices=["auto", "shm", "pickle"],
+        help="data plane for parallel requests (see `csj join --data-plane`)",
+    )
+    serve.add_argument(
+        "--preload", action="store_true",
+        help="register the dataset before the storm: publish it (and its "
+        "packed index) to shared memory once and reuse the warm state "
+        "across every request",
     )
 
     update = sub.add_parser(
@@ -433,6 +454,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
                     task_timeout=args.task_timeout,
                     stats=live_stats,
                     engine=args.engine,
+                    data_plane=args.data_plane,
                 )
                 if args.progress is not None:
                     heartbeat = ProgressHeartbeat(
@@ -474,6 +496,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
                     workers=args.workers,
                     task_timeout=args.task_timeout,
                     engine=args.engine,
+                    data_plane=args.data_plane,
                 )
                 if args.output:
                     sink.close()
@@ -599,8 +622,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         seed=args.seed,
         cache_bytes=args.cache_bytes if args.cache else 0,
+        data_plane=args.data_plane,
     )
     service.chaos = chaos
+    if args.preload:
+        # One shared segment + one packed index for the whole storm;
+        # requests match the registered array by identity.
+        points = service.register_dataset(points).points
     if args.repeats < 1:
         from repro.errors import ValidationError
 

@@ -50,6 +50,8 @@ __all__ = [
     "pair_group_bounds",
     "node_group_delta",
     "pair_group_delta",
+    "packed_node_group_delta",
+    "packed_pair_group_delta",
     "leaf_self_delta",
     "leaf_cross_delta",
 ]
@@ -106,6 +108,50 @@ def pair_group_delta(points: np.ndarray, n1: IndexNode, n2: IndexNode) -> list:
     if len(ids) < 2:
         return []
     lo, hi = pair_group_bounds(points, n1, n2, ids)
+    return [("group", ids.tolist(), lo, hi)]
+
+
+def packed_node_group_delta(points: np.ndarray, packed, nid: int) -> list:
+    """:func:`node_group_delta` against a packed index, by node id.
+
+    Byte-identical to the node-object version: ``packed.lo/hi`` rows are
+    float64 copies of the very MBR corners ``group_bounds`` reads, and
+    :meth:`~repro.index.packed.PackedIndex.subtree_entry_ids` reproduces
+    ``IndexNode.subtree_ids()`` order exactly.
+    """
+    ids = packed.subtree_entry_ids(nid)
+    if len(ids) < 2:
+        return []  # a singleton implies no links; nothing to report
+    if packed.kind == "rect":
+        lo = packed.lo[nid].tolist()
+        hi = packed.hi[nid].tolist()
+    else:
+        pts = points[ids]
+        lo = pts.min(axis=0).tolist()
+        hi = pts.max(axis=0).tolist()
+    return [("group", ids.tolist(), lo, hi)]
+
+
+def packed_pair_group_delta(
+    points: np.ndarray, packed, nid1: int, nid2: int
+) -> list:
+    """:func:`pair_group_delta` against a packed index, by node ids.
+
+    The rect union uses ``np.minimum`` / ``np.maximum`` over the packed
+    corner rows — elementwise identical to ``MBR.union``.
+    """
+    ids = np.concatenate(
+        [packed.subtree_entry_ids(nid1), packed.subtree_entry_ids(nid2)]
+    )
+    if len(ids) < 2:
+        return []
+    if packed.kind == "rect":
+        lo = np.minimum(packed.lo[nid1], packed.lo[nid2]).tolist()
+        hi = np.maximum(packed.hi[nid1], packed.hi[nid2]).tolist()
+    else:
+        pts = points[ids]
+        lo = pts.min(axis=0).tolist()
+        hi = pts.max(axis=0).tolist()
     return [("group", ids.tolist(), lo, hi)]
 
 

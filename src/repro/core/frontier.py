@@ -44,6 +44,7 @@ from repro.index.packed import PackedIndex, pack_index
 __all__ = [
     "ENGINES",
     "resolve_engine",
+    "enumerate_packed_task_ids",
     "enumerate_tree_tasks_packed",
     "_VecSSJRunner",
     "_VecCSJRunner",
@@ -341,12 +342,34 @@ def enumerate_tree_tasks_packed(tree, eps: float, compact: bool) -> Optional[lis
     packed = pack_index(tree)
     if packed is None:
         return None
-    tasks: list[tuple] = []
     if tree.root is None or tree.size <= 1:
-        return tasks
-    p = packed
+        return []
+    nodes = packed.nodes
+    return [
+        (t[0],) + tuple(nodes[i] for i in t[1:])
+        for t in _enumerate_packed_id_tasks(packed, eps, compact)
+    ]
+
+
+def enumerate_packed_task_ids(packed, eps: float, compact: bool) -> list:
+    """The same canonical work-unit sequence, as packed node *ids*.
+
+    Tuples are ``("group", nid)``, ``("self", nid)``, ``("cross", nid1,
+    nid2)``, ``("pgroup", nid1, nid2)`` — positionally identical to
+    :func:`enumerate_tree_tasks_packed` with each node replaced by its
+    level-order id.  This is the form the shared-memory data plane
+    executes against: it needs only the packed arrays, never the node
+    objects, so a worker that adopted the arrays from a segment can
+    enumerate (and execute) without ever holding a tree.
+    """
+    if packed is None or len(packed.entries) <= 1:
+        return []
+    return _enumerate_packed_id_tasks(packed, eps, compact)
+
+
+def _enumerate_packed_id_tasks(p, eps: float, compact: bool) -> list:
+    tasks: list[tuple] = []
     eps = float(eps)
-    nodes = p.nodes
     leaf = p.leaf.tolist()
     child_beg = p.child_beg.tolist()
     child_end = p.child_end.tolist()
@@ -371,12 +394,12 @@ def enumerate_tree_tasks_packed(tree, eps: float, compact: bool) -> Optional[lis
         tag, a, b, ud = stack.pop()
         if tag == _PAIR:
             if compact and ud < eps:
-                tasks.append(("pgroup", nodes[a], nodes[b]))
+                tasks.append(("pgroup", a, b))
                 continue
             la = leaf[a]
             lb = leaf[b]
             if la and lb:
-                tasks.append(("cross", nodes[a], nodes[b]))
+                tasks.append(("cross", a, b))
                 continue
             if la:
                 beg, end = child_beg[b], child_end[b]
@@ -393,10 +416,10 @@ def enumerate_tree_tasks_packed(tree, eps: float, compact: bool) -> Optional[lis
                 push_pairs(rows, cols, b1, b2)
         elif tag == _NODE:
             if compact and diam[a] < eps:
-                tasks.append(("group", nodes[a]))
+                tasks.append(("group", a))
                 continue
             if leaf[a]:
-                tasks.append(("self", nodes[a]))
+                tasks.append(("self", a))
                 continue
             beg, end = child_beg[a], child_end[a]
             push((_NPAIRS, a, 0, 0.0))

@@ -174,6 +174,14 @@ class SpatialIndex(ABC):
         #: resurrected by a direct ``insert``; consumers re-check
         #: membership in :attr:`_deleted`.
         self._free_slots: list[int] = sorted(self._deleted)
+        #: Monotonic counter of structural mutations (delete / add_point /
+        #: compact / rebuild).  Derived flattened views — the memoized
+        #: :func:`repro.index.packed.pack_index` result — key on it, so a
+        #: stale pack can never be served after the tree changes shape.
+        self._structure_version = getattr(self, "_structure_version", 0) + 1
+        #: ``(structure_version, PackedIndex | None)`` memo; see
+        #: :func:`repro.index.packed.pack_index`.
+        self._packed_cache: Optional[tuple[int, object]] = None
 
     # -- construction -------------------------------------------------------
     @abstractmethod
@@ -212,6 +220,7 @@ class SpatialIndex(ABC):
             return False
         self._deleted.add(pid)
         heapq.heappush(self._free_slots, pid)
+        self._structure_version += 1
         return True
 
     def add_point(self, coords: np.ndarray, pid: Optional[int] = None) -> int:
@@ -249,6 +258,7 @@ class SpatialIndex(ABC):
         if not self._owns_backing:
             self._own_backing()
         self.points[pid] = coords
+        self._structure_version += 1
         self.insert(pid)
         return pid
 
@@ -430,7 +440,9 @@ class SpatialIndex(ABC):
         (root excepted), and that leaf entries exactly partition the point
         ids.  Used heavily by the test suite after random update sequences.
         """
-        if len(self.points) == 0:
+        if len(self.points) - len(self._deleted) == 0:
+            # No *live* points: deleting every entry legitimately leaves a
+            # tombstoned backing array with no root (or an empty one).
             if self.root is not None and self.root.subtree_count() != 0:
                 raise IndexInvariantError("empty index with a non-empty root")
             return

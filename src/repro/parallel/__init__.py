@@ -56,6 +56,8 @@ def parallel_join(
     engine: str = "vectorized",
     breaker: object = None,
     cancel: object = None,
+    data_plane: str = "auto",
+    shared: Optional["SharedDataset"] = None,
 ) -> JoinResult:
     """Run a similarity self-join across a supervised worker pool.
 
@@ -74,6 +76,16 @@ def parallel_join(
     the per-task timeout is capped at the remaining slack, and the
     absolute deadline is pickled into the :class:`JoinSpec` so workers
     refuse tasks once it passes, even mid-queue.
+
+    ``data_plane`` selects how workers obtain the dataset: ``"shm"``
+    publishes ``points`` (and the packed index, when packable) into
+    shared-memory segments that workers attach zero-copy, ``"pickle"``
+    ships the array inside the spec, ``"auto"`` (default) prefers shm
+    where the platform supports it.  The choice never affects output
+    bytes.  ``shared`` passes a pre-published
+    :class:`~repro.parallel.shm.SharedDataset` (e.g. a service-registered
+    dataset) to reuse across calls; without it an ephemeral one is
+    created and torn down around the join.
 
     Guarantees: output is byte-identical to the serial algorithm for any
     worker count; a task that repeatedly kills its workers raises
@@ -100,57 +112,75 @@ def parallel_join(
             # attached, exactly like a mid-run expiry.
             capped = 1e-3
         task_timeout = capped
-    spec = JoinSpec(
-        points=points,
-        eps=eps,
-        algorithm=algorithm,
-        g=g,
-        index=index,
-        max_entries=max_entries,
-        bulk=bulk,
-        metric=metric,
-        partitions_per_axis=partitions_per_axis,
-        engine=engine,
-        deadline_at=deadline_at,
-    )
-    state = spec.build_state()
-    if sink is None:
-        sink = CollectSink(id_width=width_for(len(spec.points)))
-    stats = sink.stats
-    buffer = state.make_buffer(sink, stats)
-    if config is None:
-        config = SupervisorConfig(workers=workers, task_timeout=task_timeout)
-    scheduler = WorkScheduler(
-        state,
-        sink,
-        config,
-        stats=stats,
-        buffer=buffer,
-        budget=budget,
-        fault=fault,
-        skip_poisoned=True,
-        breaker=breaker,
-        cancel=cancel,
-    )
+    from repro.parallel.shm import SharedDataset, resolve_data_plane
 
-    def finish() -> JoinResult:
-        if buffer is not None:
-            buffer.flush()
-        elapsed = time.perf_counter() - start
-        stats.compute_time += elapsed - (stats.write_time - write_time_before)
-        return JoinResult.from_sink(
+    plane = resolve_data_plane(data_plane)
+    owned: Optional[SharedDataset] = None
+    if shared is None and plane == "shm":
+        # Ephemeral owner for this one join; torn down in the finally.
+        owned = shared = SharedDataset(points, metric=metric, data_plane=data_plane)
+    if shared is not None:
+        points = shared.points
+        plane = shared.plane
+    try:
+        spec = JoinSpec(
+            points=points,
+            eps=eps,
+            algorithm=algorithm,
+            g=g,
+            index=index,
+            max_entries=max_entries,
+            bulk=bulk,
+            metric=metric,
+            partitions_per_axis=partitions_per_axis,
+            engine=engine,
+            deadline_at=deadline_at,
+            data_plane=plane,
+            dataset_ref=shared.ref if shared is not None else None,
+        )
+        if shared is not None:
+            spec._shared = shared
+        state = spec.build_state()
+        if sink is None:
+            sink = CollectSink(id_width=width_for(len(spec.points)))
+        stats = sink.stats
+        buffer = state.make_buffer(sink, stats)
+        if config is None:
+            config = SupervisorConfig(workers=workers, task_timeout=task_timeout)
+        scheduler = WorkScheduler(
+            state,
             sink,
-            eps=spec.eps,
-            algorithm=spec.label(),
-            g=spec.g if spec.compact else None,
-            index_name=state.index_name,
+            config,
+            stats=stats,
+            buffer=buffer,
+            budget=budget,
+            fault=fault,
+            skip_poisoned=True,
+            breaker=breaker,
+            cancel=cancel,
         )
 
-    write_time_before = stats.write_time
-    start = time.perf_counter()
-    try:
-        scheduler.run()
-    except (BudgetExceededError, PoisonTaskError) as exc:
-        exc.partial = finish()
-        raise
-    return finish()
+        def finish() -> JoinResult:
+            if buffer is not None:
+                buffer.flush()
+            elapsed = time.perf_counter() - start
+            stats.compute_time += elapsed - (stats.write_time - write_time_before)
+            return JoinResult.from_sink(
+                sink,
+                eps=spec.eps,
+                algorithm=spec.label(),
+                g=spec.g if spec.compact else None,
+                index_name=state.index_name,
+            )
+
+        write_time_before = stats.write_time
+        start = time.perf_counter()
+        try:
+            scheduler.run()
+        except (BudgetExceededError, PoisonTaskError) as exc:
+            exc.partial = finish()
+            raise
+        return finish()
+    finally:
+        if owned is not None:
+            owned.close()

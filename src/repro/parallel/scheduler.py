@@ -166,7 +166,11 @@ class WorkScheduler:
         )
         logger.info(
             "pool started",
-            extra={"workers": self.config.workers, "tasks": self._n - self.merged},
+            extra={
+                "workers": self.config.workers,
+                "tasks": self._n - self.merged,
+                "data_plane": getattr(self.state.spec, "data_plane", "pickle"),
+            },
         )
         try:
             while not self._done():

@@ -83,14 +83,31 @@ class SupervisorConfig:
 
 def _worker_main(
     conn,
-    spec: JoinSpec,
+    spec,
     shared: Optional[SharedCounters],
     heartbeat_interval: float,
     fault: Optional[FlakyWorker],
     wid: int = -1,
 ) -> None:
-    """Entry point of one worker process."""
+    """Entry point of one worker process.
+
+    ``spec`` is either a :class:`~repro.parallel.tasks.JoinSpec` (fork
+    start method: the object is inherited, nothing is serialized) or its
+    pickled bytes (spawn/forkserver: the parent serializes once and ships
+    the same buffer to every worker and respawn).
+    """
     bind_context(worker=wid)  # stamps every log record from this process
+    if isinstance(spec, (bytes, bytearray)):
+        import pickle
+
+        try:
+            spec = pickle.loads(spec)
+        except BaseException as exc:  # noqa: BLE001 - reported, then exit
+            try:
+                conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+            except OSError:
+                pass
+            return
     send_lock = threading.Lock()
     stop = threading.Event()
 
@@ -212,11 +229,21 @@ class Supervisor:
     def _spawn(self) -> _WorkerHandle:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         wid = self._next_wid
+        if self.ctx.get_start_method() == "fork":
+            # Forked children inherit the spec's memory; pickling it
+            # here would only waste the copy-on-write pages.
+            payload = self.spec
+        else:
+            # Serialize exactly once — every worker and every respawn
+            # ships the same cached buffer (with a DatasetRef this is
+            # ~200 bytes instead of the whole dataset).
+            payload = self.spec.to_bytes()
+            get_registry().data_plane_event("spec_bytes", len(payload))
         proc = self.ctx.Process(
             target=_worker_main,
             args=(
                 child_conn,
-                self.spec,
+                payload,
                 self.shared,
                 self.config.heartbeat_interval,
                 self.fault,

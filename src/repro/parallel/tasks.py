@@ -21,6 +21,7 @@ byte-identical for any worker count, including 1, by construction.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -30,6 +31,8 @@ from repro.core.csj import (
     leaf_cross_delta,
     leaf_self_delta,
     node_group_delta,
+    packed_node_group_delta,
+    packed_pair_group_delta,
     pair_group_delta,
 )
 from repro.core.egrid import cell_pair_delta, cell_self_delta
@@ -80,10 +83,25 @@ class JoinSpec:
     #: system-wide on Linux, so the pickled timestamp stays meaningful in
     #: child processes under both ``fork`` and ``spawn``.
     deadline_at: Optional[float] = None
+    #: Resolved data plane (``"pickle"`` or ``"shm"``).  Execution-only:
+    #: like ``deadline_at`` it never affects the task sequence or the
+    #: output bytes, only *how* workers obtain the dataset.
+    data_plane: str = "pickle"
+    #: Shared-memory reference to the published ``points`` segment.  When
+    #: set, pickling this spec ships the ~200-byte ref instead of the
+    #: array and the receiving process re-attaches in ``__setstate__``.
+    dataset_ref: Optional[object] = None
+    #: Shared-memory reference to the published packed-index arrays
+    #: (set lazily by the first ``build_state`` on the owner side).
+    packed_ref: Optional[object] = None
 
     def __post_init__(self) -> None:
         from repro.core.frontier import resolve_engine  # deferred: heavy import
 
+        if self.points is None and self.dataset_ref is not None:
+            from repro.parallel.shm import attach_points
+
+            self.points = attach_points(self.dataset_ref)
         self.points = validate_points(self.points)
         self.eps = validate_eps(self.eps)
         self.engine = resolve_engine(self.engine)
@@ -117,9 +135,114 @@ class JoinSpec:
             return f"pbsm-csj({self.g})" if self.g else "pbsm-ncsj"
         return self.algorithm
 
+    # ------------------------------------------------------------------
+    # Data plane: what crosses the process boundary
+    # ------------------------------------------------------------------
+    #: Attributes that never cross a process boundary: the owning
+    #: :class:`~repro.parallel.shm.SharedDataset` (workers must not
+    #: inherit ownership) and the cached pickle of this spec.
+    _TRANSIENT = ("_shared", "_spec_bytes")
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for name in self._TRANSIENT:
+            state.pop(name, None)
+        if self.dataset_ref is not None:
+            # The ref is the dataset: ship ~200 bytes, not the array.
+            state["points"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.points is None and self.dataset_ref is not None:
+            from repro.parallel.shm import attach_points
+
+            self.points = attach_points(self.dataset_ref)
+
+    def to_bytes(self) -> bytes:
+        """This spec pickled once; cached so respawns reuse the bytes."""
+        cached = getattr(self, "_spec_bytes", None)
+        if cached is None:
+            cached = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+            self._spec_bytes = cached
+        return cached
+
+    def state_key(self) -> Optional[tuple]:
+        """Warm-cache key: dataset fingerprint + join configuration.
+
+        ``None`` (no caching) when the dataset has no fingerprint — i.e.
+        neither a :class:`~repro.parallel.shm.SharedDataset` owner nor a
+        :class:`~repro.parallel.shm.DatasetRef` is involved, so there is
+        no cheap identity to key on.  Execution-only knobs with no
+        effect on the task sequence (``deadline_at``, ``data_plane``)
+        are deliberately absent.
+        """
+        if self.dataset_ref is not None:
+            fingerprint = self.dataset_ref.fingerprint
+        else:
+            shared = getattr(self, "_shared", None)
+            if shared is None:
+                return None
+            fingerprint = shared.fingerprint
+        return (
+            fingerprint,
+            repr(self.eps),
+            self.algorithm,
+            self.g,
+            self.index,
+            self.max_entries,
+            self.bulk,
+            get_metric(self.metric).name,
+            repr(self.metric),
+            self.engine,
+            self.partitions_per_axis,
+        )
+
     def build_state(self) -> "TaskState":
-        """Materialise the canonical task sequence (deterministic)."""
-        return TaskState(self)
+        """Materialise the canonical task sequence (deterministic).
+
+        When the spec is tied to a fingerprinted dataset, built states
+        are cached per process: a respawned worker (or the next request
+        against a registered dataset) adopts the existing state instead
+        of re-attaching and re-enumerating.
+        """
+        from repro.parallel import shm
+
+        key = self.state_key()
+        if key is not None:
+            cached = shm.warm_state_get(key)
+            if cached is not None:
+                state = cached.rebind(self)
+                self._restore_packed_ref(state)
+                return state
+        state = TaskState(self)
+        if key is not None:
+            shm.warm_state_put(key, state)
+        return state
+
+    def _restore_packed_ref(self, state: "TaskState") -> None:
+        """Re-derive :attr:`packed_ref` after a warm-cache hit.
+
+        The warm state was built (and its pack possibly published) under
+        an earlier spec; this spec must carry its own ref so workers
+        spawned for it can adopt instead of rebuilding.  Publishing is
+        idempotent for an already-published pack on the same
+        ``SharedDataset`` and a single memcpy on a fresh one.
+        """
+        if (
+            self.packed_ref is not None
+            or self.dataset_ref is None
+            or state.task_mode != "packed"
+            or state.packed is None
+        ):
+            return
+        shared = getattr(self, "_shared", None)
+        if shared is None:
+            return
+        self.packed_ref = shared.publish_packed(
+            (self.index, self.max_entries, self.bulk, repr(self.metric)),
+            state.packed,
+        )
 
 
 class TaskState:
@@ -132,6 +255,9 @@ class TaskState:
     """
 
     def __init__(self, spec: JoinSpec):
+        from repro.obs.metrics import get_registry
+
+        get_registry().data_plane_event("rebuild")
         self.spec = spec
         self.points = spec.points
         self.metric = get_metric(spec.metric)
@@ -141,28 +267,80 @@ class TaskState:
         # Effective merge window: non-compact algorithms never merge.
         self.g = spec.g if spec.compact else 0
         self.home_of: Optional[np.ndarray] = None
+        #: ``"packed"`` when tree tasks are packed node *ids* executed
+        #: against :attr:`packed` arrays; ``"node"`` when they carry
+        #: :class:`~repro.index.base.IndexNode` objects.
+        self.task_mode = "node"
+        self.packed = None
 
         if self.family == "tree":
-            from repro.api import build_index  # deferred: api imports core
-            from repro.resilience.checkpoint import _enumerate_tree_tasks
+            self.tree = None
+            packed = None
+            if spec.packed_ref is not None and spec.engine == "vectorized":
+                # Zero-copy path: adopt the published packed arrays —
+                # no tree is ever built in this process.
+                from repro.parallel.shm import attach_packed
 
-            self.tree = build_index(
-                spec.points,
-                spec.index,
-                metric=self.metric,
-                max_entries=spec.max_entries,
-                bulk=spec.bulk,
-            )
-            self.tasks = None
-            if spec.engine == "vectorized":
-                from repro.core.frontier import enumerate_tree_tasks_packed
+                packed = attach_packed(spec.packed_ref, self.points, self.metric)
+            if packed is None:
+                from repro.api import build_index  # deferred: api imports core
 
-                self.tasks = enumerate_tree_tasks_packed(
-                    self.tree, self.eps, self.compact
+                shared = getattr(spec, "_shared", None)
+                if shared is not None:
+                    self.tree = shared.get_tree(
+                        spec.index,
+                        max_entries=spec.max_entries,
+                        bulk=spec.bulk,
+                        metric=spec.metric,
+                    )
+                else:
+                    self.tree = build_index(
+                        spec.points,
+                        spec.index,
+                        metric=self.metric,
+                        max_entries=spec.max_entries,
+                        bulk=spec.bulk,
+                    )
+                if spec.engine == "vectorized":
+                    from repro.index.packed import pack_index
+
+                    packed = pack_index(self.tree)
+                    if (
+                        packed is not None
+                        and shared is not None
+                        and spec.dataset_ref is not None
+                        and spec.packed_ref is None
+                    ):
+                        # Publish once so workers can adopt instead of
+                        # rebuilding; must happen before the supervisor
+                        # pickles the spec (build_state precedes start).
+                        spec.packed_ref = shared.publish_packed(
+                            (
+                                spec.index,
+                                spec.max_entries,
+                                spec.bulk,
+                                repr(spec.metric),
+                            ),
+                            packed,
+                        )
+            if packed is not None:
+                from repro.core.frontier import enumerate_packed_task_ids
+
+                self.packed = packed
+                self.task_mode = "packed"
+                self.tasks = enumerate_packed_task_ids(
+                    packed, self.eps, self.compact
                 )
-            if self.tasks is None:
+            else:
+                from repro.resilience.checkpoint import _enumerate_tree_tasks
+
                 self.tasks = _enumerate_tree_tasks(self.tree, self.eps, self.compact)
-            self.index_name = type(self.tree).name
+            if self.tree is not None:
+                self.index_name = type(self.tree).name
+            else:
+                from repro.index import get_index_class
+
+                self.index_name = get_index_class(spec.index).name
         elif self.family == "egrid":
             from repro.resilience.checkpoint import _enumerate_egrid_tasks
 
@@ -183,6 +361,22 @@ class TaskState:
     def __len__(self) -> int:
         return len(self.tasks)
 
+    def rebind(self, spec: JoinSpec) -> "TaskState":
+        """A shallow clone of this state bound to ``spec``.
+
+        Used by the warm cache: the task sequence and data structures
+        are fully determined by the cache key, but the spec carries
+        per-request execution knobs (``deadline_at``) that must come
+        from the *current* request.  Everything here is read-only during
+        execution, so clones may share it freely.
+        """
+        if spec is self.spec:
+            return self
+        clone = object.__new__(TaskState)
+        clone.__dict__ = self.__dict__.copy()
+        clone.spec = spec
+        return clone
+
     # ------------------------------------------------------------------
     # Pure execution (workers)
     # ------------------------------------------------------------------
@@ -196,6 +390,33 @@ class TaskState:
         task = self.tasks[task_id]
         kind = task[0]
         if self.family == "tree":
+            if self.task_mode == "packed":
+                packed = self.packed
+                if kind == "group":
+                    return (
+                        packed_node_group_delta(self.points, packed, task[1]),
+                        (0, 0, 1),
+                    )
+                if kind == "pgroup":
+                    return (
+                        packed_pair_group_delta(
+                            self.points, packed, task[1], task[2]
+                        ),
+                        (0, 0, 1),
+                    )
+                if kind == "self":
+                    events, dc = leaf_self_delta(
+                        self.points, self.metric, self.eps,
+                        packed.leaf_entry_ids(task[1]), self.g,
+                    )
+                    return events, (dc, 0, 0)
+                events, dc = leaf_cross_delta(
+                    self.points, self.metric, self.eps,
+                    packed.leaf_entry_ids(task[1]),
+                    packed.leaf_entry_ids(task[2]),
+                    self.g,
+                )
+                return events, (dc, 0, 0)
             if kind == "group":
                 return node_group_delta(self.points, task[1]), (0, 0, 1)
             if kind == "pgroup":

@@ -282,6 +282,7 @@ class CheckpointedJoin:
         supervisor_config: object = None,
         stats: Optional[JoinStats] = None,
         engine: str = "vectorized",
+        data_plane: str = "auto",
     ):
         self.points = validate_points(points)
         self.eps = validate_eps(eps)
@@ -319,6 +320,10 @@ class CheckpointedJoin:
         from repro.core.frontier import resolve_engine
 
         self.engine = resolve_engine(engine)
+        # Like workers/engine: how workers obtain the dataset never
+        # affects the task sequence, so a run checkpointed on one data
+        # plane resumes on any other.
+        self.data_plane = data_plane
         # Externally supplied stats are *observed* (progress heartbeats,
         # metrics) — the run still owns all mutation; pass a fresh one.
         self.stats = stats
@@ -420,10 +425,22 @@ class CheckpointedJoin:
         )
         sink = self.sink_wrapper(inner) if self.sink_wrapper is not None else inner
 
+        from repro.parallel.shm import SharedDataset, resolve_data_plane
         from repro.parallel.tasks import JoinSpec
 
+        # The shared-memory plane only matters when a pool will run;
+        # serial (resumable) execution keeps the in-process array.
+        shared: Optional[SharedDataset] = None
+        plane = "pickle"
+        if self.workers is not None and self.workers > 1:
+            plane = resolve_data_plane(self.data_plane)
+            if plane == "shm":
+                shared = SharedDataset(
+                    pts, metric=self.metric, data_plane=self.data_plane
+                )
+                plane = shared.plane
         spec = JoinSpec(
-            points=pts,
+            points=pts if shared is None else shared.points,
             eps=self.eps,
             algorithm=self.algorithm,
             g=self.g,
@@ -433,7 +450,11 @@ class CheckpointedJoin:
             metric=self.metric,
             partitions_per_axis=self.partitions_per_axis,
             engine=self.engine,
+            data_plane=plane,
+            dataset_ref=shared.ref if shared is not None else None,
         )
+        if shared is not None:
+            spec._shared = shared
         state = spec.build_state()
         tasks = state.tasks
         buffer: Optional[GroupBuffer] = state.make_buffer(sink, stats)
@@ -540,6 +561,8 @@ class CheckpointedJoin:
         finally:
             sink.close()
             journal.close()
+            if shared is not None:
+                shared.close()
 
         self._finalize_timing(stats, start, write_time_before)
         return JoinResult.from_sink(

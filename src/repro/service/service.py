@@ -175,6 +175,11 @@ class ServiceConfig:
     breaker_cooldown_max: float = 30.0
     #: Seed for breaker cooldown jitter (timing only, never output).
     seed: int = 0
+    #: Data plane for parallel requests: ``"shm"`` maps one shared copy
+    #: of the dataset into every worker, ``"pickle"`` ships it per
+    #: worker, ``"auto"`` prefers shm where available.  Never affects
+    #: output bytes.
+    data_plane: str = "auto"
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -239,6 +244,8 @@ class JoinService:
         self._seq = 0
         #: Completed outcomes in completion order (audit trail).
         self.outcomes: list[RequestOutcome] = []
+        #: Datasets registered for cross-request reuse (identity-matched).
+        self._registered: list = []
         #: High-water mark of the waiting queue (the gate asserts
         #: ``peak_queue <= config.queue_depth``).
         self.peak_queue = 0
@@ -497,6 +504,64 @@ class JoinService:
             occupancy=occupancy,
         )
 
+    # ------------------------------------------------------------------
+    # Dataset registration (cross-request warm state)
+    # ------------------------------------------------------------------
+    def register_dataset(
+        self,
+        points: np.ndarray,
+        metric: object = None,
+        index: str = "rstar",
+        max_entries: int = 64,
+        bulk: Optional[str] = "str",
+    ):
+        """Pre-publish a dataset for zero-copy, warm-state serving.
+
+        Builds the tree (and, when packable, publishes the packed-index
+        arrays alongside the points into shared memory) *now*, so every
+        subsequent request whose ``points`` is this same array reuses
+        one segment and one packed index — across requests, executors,
+        worker respawns and the brownout ladder.  Returns the owning
+        :class:`~repro.parallel.shm.SharedDataset`; it is closed with
+        the service.
+        """
+        from repro.index.packed import pack_index
+        from repro.parallel.shm import SharedDataset
+
+        shared = SharedDataset(
+            points, metric=metric, data_plane=self.config.data_plane
+        )
+        tree = shared.get_tree(
+            index, max_entries=max_entries, bulk=bulk, metric=metric
+        )
+        packed = pack_index(tree)  # warms the memo even on the pickle plane
+        if packed is not None and shared.ref is not None:
+            shared.publish_packed(
+                (index, max_entries, bulk, repr(metric)), packed
+            )
+        with self._lock:
+            if self._closed:
+                shared.close()
+                raise RuntimeError("JoinService is closed")
+            self._registered.append(shared)
+        logger.info(
+            "dataset registered",
+            extra={
+                "n": int(shared.points.shape[0]),
+                "plane": shared.plane,
+                "fingerprint": shared.fingerprint[:12],
+            },
+        )
+        return shared
+
+    def _find_registered(self, points: np.ndarray):
+        """The registered dataset whose array *is* ``points``, if any."""
+        with self._lock:
+            for shared in self._registered:
+                if shared.points is points:
+                    return shared
+        return None
+
     def _run_join(
         self,
         request: JoinRequest,
@@ -507,6 +572,7 @@ class JoinService:
     ) -> JoinResult:
         from repro.api import similarity_join  # deferred: api imports service
 
+        registered = self._find_registered(request.points)
         if workers > 1:
             from repro.parallel.supervisor import SupervisorConfig
 
@@ -529,6 +595,22 @@ class JoinService:
                 config=config,
                 engine=engine,
                 breaker=self.pool_breaker,
+                data_plane=self.config.data_plane,
+                shared=registered,
+            )
+        family = FAMILIES.get(str(request.algorithm).lower(), (None, None))[0]
+        if registered is not None and family == "tree":
+            # Serial fast path: the registered tree replaces the
+            # per-request index build (same configuration, same bytes).
+            return similarity_join(
+                request.points,
+                request.eps,
+                algorithm=request.algorithm,
+                g=request.g,
+                index=registered.get_tree(metric=request.metric),
+                metric=request.metric,
+                budget=budget,
+                engine=engine,
             )
         return similarity_join(
             request.points,
@@ -653,6 +735,12 @@ class JoinService:
             self._available.release()
         for t in self._threads:
             t.join(timeout=60.0)
+        # Executors are quiet: safe to unlink the registered datasets'
+        # shared-memory segments (part of the guaranteed-cleanup path).
+        with self._lock:
+            registered, self._registered = self._registered, []
+        for shared in registered:
+            shared.close()
         get_registry().service_pressure(0, self.config.queue_depth, None)
 
     def __enter__(self) -> "JoinService":
