@@ -1,0 +1,222 @@
+"""Spatial shard planning with ε-margin boundary replication.
+
+A *shard plan* splits a dataset into ``K`` spatial shards.  Every point
+has exactly one **home** shard (the grid cell or Hilbert run that owns
+it); each shard's working set is its core points plus a **halo**: every
+foreign point within ``eps`` of the shard's core bounding rectangle.
+The halo makes each per-shard join *locally exact* — the ε-margin
+replication of McCauley & Silvestri's adaptive MapReduce similarity
+joins:
+
+    For any qualifying pair ``(i, j)`` with ``dist(i, j) < eps``, let
+    ``s = home(min(i, j))``.  The min-id point is core in ``s``, so it
+    lies inside ``s``'s core MBR; the partner is within ``eps`` of it,
+    hence within ``eps`` of the MBR, hence in ``s``'s halo (or core).
+    Both endpoints are therefore in shard ``s``'s working set, and the
+    shard's local join finds the pair.
+
+That same rule is the **canonical owner rule** used to emit cross-shard
+pairs exactly once with no deduplication pass: a pair found inside a
+shard is *kept* iff the home shard of its min-id endpoint is that shard
+— the reference-point idiom PBSM already uses for tile overlap, lifted
+to shards.  The halo test uses the inclusive ``<= eps`` margin: the
+join predicate is strict (``dist < eps``), so the inclusive margin is a
+safe superset and immune to any rounding slack in the clamp-then-norm
+box distance.
+
+Two partitioners are provided (both deterministic, so every process —
+parent, workers, a resumed run — re-derives the identical plan):
+
+* ``"grid"`` — the bounding box is cut into a ``K``-cell axis grid
+  (side counts are an integer factorisation of ``K``); a point's home is
+  the cell containing it.
+* ``"hilbert"`` — points are ordered along the Hilbert curve
+  (:func:`repro.geometry.curves.hilbert_sort`) and the order is cut into
+  ``K`` near-equal contiguous runs; spatially coherent like the grid but
+  balanced by construction under skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidInputError, validate_eps, validate_points
+from repro.geometry.curves import hilbert_sort
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import Metric, get_metric
+
+__all__ = ["PARTITIONERS", "ShardPlan", "ShardPlanner", "grid_shape"]
+
+#: Supported partitioner names.
+PARTITIONERS = ("grid", "hilbert")
+
+
+def grid_shape(k: int, dim: int) -> tuple[int, ...]:
+    """Factor ``k`` into ``dim`` per-axis cell counts with product ``k``.
+
+    Greedy: each prime factor of ``k`` (largest first) multiplies the
+    currently smallest axis, keeping the factors as balanced as an exact
+    integer factorisation allows (``8, 2 -> (4, 2)``; ``3, 2 -> (3, 1)``).
+    """
+    shape = [1] * dim
+    for p in _prime_factors(k):
+        shape[shape.index(min(shape))] *= p
+    return tuple(sorted(shape, reverse=True))
+
+
+def _prime_factors(k: int) -> list[int]:
+    factors: list[int] = []
+    d = 2
+    while d * d <= k:
+        while k % d == 0:
+            factors.append(d)
+            k //= d
+        d += 1
+    if k > 1:
+        factors.append(k)
+    return sorted(factors, reverse=True)
+
+
+@dataclass
+class ShardPlan:
+    """The materialised assignment: homes, working sets and load stats."""
+
+    #: Number of shards (some may be empty).
+    k: int
+    #: Partitioner that produced the plan.
+    partitioner: str
+    #: Query range the halo was computed for.
+    eps: float
+    #: ``home[i]`` is the home shard of point ``i``.
+    home: np.ndarray
+    #: Per shard, the sorted global ids of its working set (core + halo).
+    members: list = field(default_factory=list)
+    #: Per shard, the number of core points (``home == s``).
+    core_counts: np.ndarray = None
+    #: Per shard, the number of replicated halo points.
+    halo_counts: np.ndarray = None
+
+    @property
+    def points(self) -> int:
+        """Total core memberships — always the dataset size."""
+        return int(self.core_counts.sum())
+
+    @property
+    def halo_points(self) -> int:
+        """Total replicated memberships across all halos."""
+        return int(self.halo_counts.sum())
+
+    @property
+    def skew_ratio(self) -> float:
+        """Max over mean working-set size — 1.0 is perfectly balanced."""
+        sizes = self.core_counts + self.halo_counts
+        total = int(sizes.sum())
+        if total == 0 or self.k == 0:
+            return 1.0
+        return float(sizes.max() / (total / self.k))
+
+    def report(self) -> dict:
+        """Flat summary for metrics, benchmarks and ``JoinResult``."""
+        return {
+            "shards": self.k,
+            "partitioner": self.partitioner,
+            "points": self.points,
+            "halo_points": self.halo_points,
+            "skew_ratio": self.skew_ratio,
+            "core_counts": [int(c) for c in self.core_counts],
+            "halo_counts": [int(c) for c in self.halo_counts],
+        }
+
+
+class ShardPlanner:
+    """Plans K-way spatial shards with an ε-margin halo.
+
+    >>> import numpy as np
+    >>> pts = np.random.default_rng(0).random((100, 2))
+    >>> plan = ShardPlanner(4).plan(pts, 0.05)
+    >>> plan.points, plan.k
+    (100, 4)
+    """
+
+    def __init__(self, shards: int, partitioner: str = "grid", bits: int = 16):
+        if int(shards) != shards or shards < 1:
+            raise InvalidInputError(f"shards must be an integer >= 1, got {shards}")
+        partitioner = str(partitioner).lower()
+        if partitioner not in PARTITIONERS:
+            raise InvalidInputError(
+                f"unknown partitioner {partitioner!r}; known: {PARTITIONERS}"
+            )
+        self.shards = int(shards)
+        self.partitioner = partitioner
+        self.bits = int(bits)
+
+    def plan(
+        self, points: np.ndarray, eps: float, metric: Optional[Metric] = None
+    ) -> ShardPlan:
+        """Assign homes and compute each shard's ε-margin working set."""
+        points = validate_points(points)
+        eps = validate_eps(eps)
+        metric = get_metric(metric)
+        n = len(points)
+        k = self.shards
+        if self.partitioner == "hilbert":
+            home = self._hilbert_homes(points, k)
+        else:
+            home = self._grid_homes(points, k)
+
+        members: list[np.ndarray] = []
+        core_counts = np.zeros(k, dtype=np.int64)
+        halo_counts = np.zeros(k, dtype=np.int64)
+        for s in range(k):
+            core = home == s
+            n_core = int(core.sum())
+            core_counts[s] = n_core
+            if n_core == 0:
+                # An empty shard has no core MBR, hence no halo and no
+                # work; it stays in the plan so shard ids are stable.
+                members.append(np.empty(0, dtype=np.int64))
+                continue
+            box = MBR.of_points(points[core])
+            near = box.min_dist_points(points, metric) <= eps
+            mask = core | near
+            ids = np.flatnonzero(mask).astype(np.int64)
+            members.append(ids)
+            halo_counts[s] = len(ids) - n_core
+        return ShardPlan(
+            k=k,
+            partitioner=self.partitioner,
+            eps=eps,
+            home=home,
+            members=members,
+            core_counts=core_counts,
+            halo_counts=halo_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Home assignment
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grid_homes(points: np.ndarray, k: int) -> np.ndarray:
+        dim = points.shape[1]
+        shape = grid_shape(k, dim)
+        lo = points.min(axis=0)
+        span = points.max(axis=0) - lo
+        span[span == 0.0] = 1.0
+        cells = np.empty((len(points), dim), dtype=np.int64)
+        for axis in range(dim):
+            idx = np.floor((points[:, axis] - lo[axis]) / span[axis] * shape[axis])
+            cells[:, axis] = np.clip(idx.astype(np.int64), 0, shape[axis] - 1)
+        return np.ravel_multi_index(cells.T, shape).astype(np.int64)
+
+    def _hilbert_homes(self, points: np.ndarray, k: int) -> np.ndarray:
+        n, dim = points.shape
+        bits = min(self.bits, max(1, 63 // max(dim, 1)))
+        order = hilbert_sort(points, bits=bits)
+        home = np.empty(n, dtype=np.int64)
+        bounds = [round(s * n / k) for s in range(k + 1)]
+        for s in range(k):
+            home[order[bounds[s]:bounds[s + 1]]] = s
+        return home
